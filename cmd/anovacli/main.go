@@ -1,0 +1,134 @@
+// Command anovacli runs an ANOVA over a CSV of measured responses.
+//
+// The CSV's first row names the columns; every column except the last is
+// a factor (levels are the distinct strings appearing in it), the last
+// column is the numeric response. Rows with the same factor combination
+// are treated as replicates; the design must be balanced.
+//
+// Usage:
+//
+//	anovacli -interactions < results.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"diversify/internal/anova"
+	"diversify/internal/doe"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "anovacli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("anovacli", flag.ContinueOnError)
+	interactions := fs.Bool("interactions", false, "include two-way interactions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := csv.NewReader(in).ReadAll()
+	if err != nil {
+		return fmt.Errorf("reading CSV: %w", err)
+	}
+	if len(records) < 3 || len(records[0]) < 2 {
+		return fmt.Errorf("need a header plus >=2 data rows, with >=1 factor and a response column")
+	}
+	header := records[0]
+	nFactors := len(header) - 1
+
+	// Collect distinct levels per factor in first-appearance order.
+	levelIndex := make([]map[string]int, nFactors)
+	factors := make([]doe.Factor, nFactors)
+	for j := 0; j < nFactors; j++ {
+		levelIndex[j] = map[string]int{}
+		factors[j] = doe.Factor{Name: header[j]}
+	}
+	type obs struct {
+		cell  []int
+		value float64
+	}
+	var observations []obs
+	for rowIdx, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return fmt.Errorf("row %d has %d columns, want %d", rowIdx+2, len(rec), len(header))
+		}
+		cell := make([]int, nFactors)
+		for j := 0; j < nFactors; j++ {
+			idx, ok := levelIndex[j][rec[j]]
+			if !ok {
+				idx = len(factors[j].Levels)
+				levelIndex[j][rec[j]] = idx
+				factors[j].Levels = append(factors[j].Levels, rec[j])
+			}
+			cell[j] = idx
+		}
+		v, err := strconv.ParseFloat(rec[nFactors], 64)
+		if err != nil {
+			return fmt.Errorf("row %d: response %q is not numeric", rowIdx+2, rec[nFactors])
+		}
+		observations = append(observations, obs{cell: cell, value: v})
+	}
+	// Group replicates by cell, in full-factorial run order.
+	design, err := doe.FullFactorial(factors)
+	if err != nil {
+		return err
+	}
+	cellPos := map[string]int{}
+	for i := range design.Runs {
+		cellPos[design.CellKey(i)] = i
+	}
+	responses := make([][]float64, design.NumRuns())
+	for _, ob := range observations {
+		key := ""
+		// Rebuild the canonical key from the observation's cell.
+		tmp := make([]string, nFactors)
+		for j, lv := range ob.cell {
+			tmp[j] = fmt.Sprintf("%s=%s", factors[j].Name, factors[j].Levels[lv])
+		}
+		// CellKey sorts name=level fragments; reuse design lookup by
+		// constructing via the design row. Find the design row whose
+		// levels match.
+		for i := range design.Runs {
+			match := true
+			for j := range ob.cell {
+				if design.Runs[i][j] != ob.cell[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				key = design.CellKey(i)
+				break
+			}
+		}
+		pos, ok := cellPos[key]
+		if !ok {
+			return fmt.Errorf("internal: unmatched cell %v", tmp)
+		}
+		responses[pos] = append(responses[pos], ob.value)
+	}
+	for i, row := range responses {
+		if len(row) == 0 {
+			return fmt.Errorf("cell %s has no observations (design must be complete)", design.CellKey(i))
+		}
+	}
+	table, err := anova.Analyze(design, responses, anova.Options{Interactions: *interactions})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table.String())
+	fmt.Fprintln(out, "\nranking by explained variance:")
+	for i, row := range table.Ranking() {
+		fmt.Fprintf(out, "  %d. %-16s eta2=%.3f p=%.4f\n", i+1, row.Source, row.Eta2, row.P)
+	}
+	return nil
+}

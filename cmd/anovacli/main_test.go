@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `OS,FW,tta
+xp,basic,10
+xp,basic,12
+xp,dpi,15
+xp,dpi,14
+w7,basic,30
+w7,basic,33
+w7,dpi,41
+w7,dpi,39
+`
+
+func TestAnovaFromCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-interactions"}, strings.NewReader(sampleCSV), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"OS", "FW", "OS×FW", "ranking"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// OS dominates this dataset.
+	if !strings.Contains(out, "1. OS") {
+		t.Fatalf("OS not ranked first:\n%s", out)
+	}
+}
+
+func TestAnovaNoInteractions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleCSV), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "OS×FW") {
+		t.Fatal("interactions appeared without the flag")
+	}
+}
+
+func TestAnovaErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader("a,b\n1,2\n"), &buf); err == nil {
+		t.Fatal("too-small input accepted")
+	}
+	if err := run(nil, strings.NewReader("OS,resp\nxp,notanumber\nw7,3\nxp,4\nw7,5\n"), &buf); err == nil {
+		t.Fatal("non-numeric response accepted")
+	}
+	ragged := "OS,FW,resp\nxp,basic,1\nxp,basic\n"
+	if err := run(nil, strings.NewReader(ragged), &buf); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	// Unbalanced (missing cell) data is rejected.
+	missing := "OS,FW,resp\nxp,basic,1\nxp,basic,2\nw7,dpi,3\nw7,dpi,4\n"
+	if err := run(nil, strings.NewReader(missing), &buf); err == nil {
+		t.Fatal("incomplete design accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunStuxnet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-threat", "stuxnet", "-os-variants", "2", "-horizon", "240", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"success:", "detected:", "final node states:", "plc-0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDuquWithFirewall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-threat", "duqu", "-firewall", "fw-dpi", "-horizon", "120"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownThreat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-threat", "mirai"}, &buf); err == nil {
+		t.Fatal("unknown threat accepted")
+	}
+}
+
+func TestRunBadVariantCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-os-variants", "99"}, &buf); err == nil {
+		t.Fatal("k=99 accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := devnull.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := run([]string{"-experiment", "E1", "-reps", "500"}, devnull); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "E42"}, os.Stdout); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, os.Stdout); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

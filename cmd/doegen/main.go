@@ -1,0 +1,122 @@
+// Command doegen generates Design-of-Experiments matrices as CSV on
+// stdout.
+//
+// Usage:
+//
+//	doegen -type full -factors "OS:xp,w7;FW:basic,dpi"
+//	doegen -type frac -k 6 -generators "E=ABC,F=BCD"
+//	doegen -type pb -runs 12
+//	doegen -type lhs -runs 20 -dims 3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"diversify/internal/doe"
+	"diversify/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "doegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("doegen", flag.ContinueOnError)
+	var (
+		typ        = fs.String("type", "full", "design type: full, frac, pb, lhs")
+		factors    = fs.String("factors", "", "factor spec \"Name:l1,l2;Name2:l1,l2\" (full)")
+		k          = fs.Int("k", 4, "number of two-level factors (frac)")
+		generators = fs.String("generators", "D=ABC", "comma-separated generator words (frac)")
+		runs       = fs.Int("runs", 12, "run count (pb, lhs)")
+		dims       = fs.Int("dims", 2, "dimensions (lhs)")
+		seed       = fs.Uint64("seed", 1, "RNG seed (lhs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *typ {
+	case "full":
+		parsed, err := parseFactors(*factors)
+		if err != nil {
+			return err
+		}
+		d, err := doe.FullFactorial(parsed)
+		if err != nil {
+			return err
+		}
+		return writeDesign(out, d)
+	case "frac":
+		gens := strings.Split(*generators, ",")
+		d, err := doe.FractionalFactorial(doe.TwoLevelFactors(*k, nil), gens)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# resolution %d\n", d.Resolution)
+		return writeDesign(out, d)
+	case "pb":
+		d, err := doe.PlackettBurman(*runs)
+		if err != nil {
+			return err
+		}
+		return writeDesign(out, d)
+	case "lhs":
+		pts, err := doe.LatinHypercube(*runs, *dims, rng.New(*seed))
+		if err != nil {
+			return err
+		}
+		cols := make([]string, *dims)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("x%d", i+1)
+		}
+		fmt.Fprintln(out, strings.Join(cols, ","))
+		for _, p := range pts {
+			vals := make([]string, len(p))
+			for i, v := range p {
+				vals[i] = fmt.Sprintf("%.6f", v)
+			}
+			fmt.Fprintln(out, strings.Join(vals, ","))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown design type %q", *typ)
+	}
+}
+
+func parseFactors(spec string) ([]doe.Factor, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-factors is required for full factorials")
+	}
+	var out []doe.Factor
+	for _, part := range strings.Split(spec, ";") {
+		nameLevels := strings.SplitN(part, ":", 2)
+		if len(nameLevels) != 2 {
+			return nil, fmt.Errorf("bad factor spec %q (want Name:l1,l2)", part)
+		}
+		levels := strings.Split(nameLevels[1], ",")
+		out = append(out, doe.Factor{Name: strings.TrimSpace(nameLevels[0]), Levels: levels})
+	}
+	return out, nil
+}
+
+func writeDesign(out io.Writer, d *doe.Design) error {
+	names := make([]string, len(d.Factors))
+	for i, f := range d.Factors {
+		names[i] = f.Name
+	}
+	fmt.Fprintln(out, "run,"+strings.Join(names, ","))
+	for i := range d.Runs {
+		levels := make([]string, len(d.Factors))
+		for j := range d.Factors {
+			levels[j] = d.Level(i, j)
+		}
+		fmt.Fprintf(out, "%d,%s\n", i+1, strings.Join(levels, ","))
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFullFactorialCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "full", "-factors", "OS:xp,w7;FW:basic,dpi"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 runs
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "run,OS,FW" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestFractionalCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "frac", "-k", "4", "-generators", "D=ABC"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# resolution 4") {
+		t.Fatalf("missing resolution comment:\n%s", buf.String())
+	}
+}
+
+func TestPBCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "pb", "-runs", "12"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 13 {
+		t.Fatalf("PB(12) lines = %d", len(lines))
+	}
+}
+
+func TestLHSCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "lhs", "-runs", "10", "-dims", "2", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("LHS lines = %d", len(lines))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "full"}, &buf); err == nil {
+		t.Fatal("missing factors accepted")
+	}
+	if err := run([]string{"-type", "full", "-factors", "garbage"}, &buf); err == nil {
+		t.Fatal("bad factor spec accepted")
+	}
+	if err := run([]string{"-type", "nope"}, &buf); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if err := run([]string{"-type", "pb", "-runs", "10"}, &buf); err == nil {
+		t.Fatal("PB(10) accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package diversify is the public facade of a diversity-based security
+// assessment framework for monitoring and control (SCADA) systems,
+// reproducing Cotroneo, Pecchia & Russo, "Towards Secure Monitoring and
+// Control Systems: Diversify!" (DSN 2013).
+//
+// The framework implements the paper's three-step approach:
+//
+//  1. Attack Modeling — executable threat models (stochastic activity
+//     networks, attack trees, Bayesian networks, or a full SCADA campaign
+//     simulator with Stuxnet/Duqu/Flame profiles);
+//  2. DoE & Measurements — factorial / fractional-factorial experiment
+//     designs over component variants, measured by parallel Monte-Carlo
+//     replication of the security indicators Time-To-Attack,
+//     Time-To-Security-Failure and compromised ratio;
+//  3. Diversity Assessment — ANOVA variance allocation identifying which
+//     components are worth diversifying.
+//
+// Quick start:
+//
+//	study, err := diversify.NewStuxnetStudy(diversify.StuxnetStudyConfig{
+//	    OSLevels:  []string{"winxp-sp3", "win7"},
+//	    PLCLevels: []string{"s7-315", "modicon-m340"},
+//	    Reps:      50,
+//	    Seed:      1,
+//	})
+//	results, err := study.Run()
+//	assessment, err := results.Assess(
+//	    []diversify.Indicator{diversify.IndicatorSuccess}, diversify.AnovaOptions{})
+//	// assessment.Ranking tells you what to diversify first.
+//
+// The heavy machinery lives in internal packages (san, attacktree, bayes,
+// markov, doe, anova, malware, scada, modbus, physics, topology,
+// diversity, scope); this package re-exports the workflow types and
+// provides ready-made constructors for the scenarios the paper discusses.
+package diversify
+
+import (
+	"fmt"
+
+	"diversify/internal/anova"
+	"diversify/internal/core"
+	"diversify/internal/doe"
+	"diversify/internal/exploits"
+	"diversify/internal/indicators"
+	"diversify/internal/malware"
+	"diversify/internal/scope"
+	"diversify/internal/topology"
+)
+
+// Workflow types re-exported from the core pipeline.
+type (
+	// Study is a scenario × design × replications experiment.
+	Study = core.Study
+	// Results holds raw outcomes and per-cell indicator reports.
+	Results = core.Results
+	// Assessment is the step-3 output (ANOVA tables + ranking).
+	Assessment = core.Assessment
+	// Scenario is an executable attack model.
+	Scenario = core.Scenario
+	// Levels maps factor names to chosen levels.
+	Levels = core.Levels
+	// Indicator selects a measured security indicator.
+	Indicator = core.Indicator
+	// AnovaOptions tunes the variance decomposition.
+	AnovaOptions = anova.Options
+	// Outcome is one replication's measurements.
+	Outcome = indicators.Outcome
+	// Report is a per-configuration indicator summary.
+	Report = indicators.Report
+	// Factor is a DoE factor.
+	Factor = doe.Factor
+	// Design is a DoE plan.
+	Design = doe.Design
+)
+
+// Indicators (paper §II).
+const (
+	IndicatorTTA        = core.IndicatorTTA
+	IndicatorTTSF       = core.IndicatorTTSF
+	IndicatorSuccess    = core.IndicatorSuccess
+	IndicatorFinalRatio = core.IndicatorFinalRatio
+)
+
+// StuxnetStudyConfig parameterizes the ready-made Stuxnet-vs-diversity
+// study on the reference tiered SCADA topology.
+type StuxnetStudyConfig struct {
+	// OSLevels / PLCLevels / ProtocolLevels are catalog variant IDs used
+	// as factor levels; empty slices omit the factor (at least one
+	// factor with >= 2 levels is required).
+	OSLevels       []string
+	PLCLevels      []string
+	ProtocolLevels []string
+	FirewallLevels []string
+	// Reps is the Monte-Carlo replication count per design cell.
+	Reps int
+	// Seed makes the whole study reproducible.
+	Seed uint64
+	// HorizonHours is the observation window (default 720 = 30 days).
+	HorizonHours float64
+	// Workers bounds parallelism (<= 0 → GOMAXPROCS).
+	Workers int
+}
+
+// NewStuxnetStudy assembles a full-factorial study of a Stuxnet-like
+// campaign on the reference tiered SCADA plant, with the requested
+// component classes as diversity factors.
+func NewStuxnetStudy(cfg StuxnetStudyConfig) (*Study, error) {
+	if cfg.Reps <= 0 {
+		return nil, fmt.Errorf("diversify: Reps must be positive, got %d", cfg.Reps)
+	}
+	horizon := cfg.HorizonHours
+	if horizon <= 0 {
+		horizon = 720
+	}
+	var factors []doe.Factor
+	classes := map[string]exploits.Class{}
+	add := func(name string, levels []string, class exploits.Class) {
+		if len(levels) >= 2 {
+			factors = append(factors, doe.Factor{Name: name, Levels: levels})
+			classes[name] = class
+		}
+	}
+	add("OS", cfg.OSLevels, exploits.ClassOS)
+	add("PLC", cfg.PLCLevels, exploits.ClassPLCFirmware)
+	add("Protocol", cfg.ProtocolLevels, exploits.ClassProtocol)
+	add("Firewall", cfg.FirewallLevels, exploits.ClassFirewall)
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("diversify: at least one factor with >= 2 levels is required")
+	}
+	design, err := doe.FullFactorial(factors)
+	if err != nil {
+		return nil, err
+	}
+	topo := topology.NewTieredSCADA(topology.DefaultTieredSpec())
+	scn := &core.CampaignScenario{
+		Label:   "stuxnet-tiered-scada",
+		Topo:    topo,
+		Catalog: exploits.StuxnetCatalog(),
+		Profile: malware.StuxnetProfile(),
+		Horizon: horizon,
+		Bind:    core.BindVariantFactors(topo, classes),
+	}
+	return &Study{Scenario: scn, Design: design, Reps: cfg.Reps, Seed: cfg.Seed, Workers: cfg.Workers}, nil
+}
+
+// PlacementResult is one cell of the SCoPE placement experiment.
+type PlacementResult = scope.PlacementCell
+
+// RunScopePlacement reproduces the paper's case-study claim on the
+// SCoPE-like cooling system: it sweeps the number of hardened components
+// k over both random and strategic (cut-node) placement and reports the
+// attack success probability and mean time-to-attack per cell.
+func RunScopePlacement(resilientCounts []int, reps int, seed uint64, horizonHours float64) ([]PlacementResult, error) {
+	cs := scope.NewCaseStudy()
+	return cs.PlacementExperiment(resilientCounts,
+		[]scope.Strategy{scope.StrategyRandom, scope.StrategyStrategic, scope.StrategyWorst},
+		reps, seed, horizonHours)
+}
+
+// ThreatProfiles returns the built-in threat models (the paper's Stuxnet
+// plus the future-work Duqu and Flame), keyed by name.
+func ThreatProfiles() map[string]malware.Profile {
+	return map[string]malware.Profile{
+		"stuxnet": malware.StuxnetProfile(),
+		"duqu":    malware.DuquProfile(),
+		"flame":   malware.FlameProfile(),
+	}
+}

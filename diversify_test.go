@@ -1,0 +1,94 @@
+package diversify
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewStuxnetStudyValidation(t *testing.T) {
+	if _, err := NewStuxnetStudy(StuxnetStudyConfig{Reps: 0}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if _, err := NewStuxnetStudy(StuxnetStudyConfig{Reps: 5}); err == nil {
+		t.Fatal("factorless study accepted")
+	}
+	// Single-level factors are omitted, so this is still factorless.
+	if _, err := NewStuxnetStudy(StuxnetStudyConfig{Reps: 5, OSLevels: []string{"winxp-sp3"}}); err == nil {
+		t.Fatal("single-level factor accepted")
+	}
+}
+
+func TestStuxnetStudyEndToEnd(t *testing.T) {
+	study, err := NewStuxnetStudy(StuxnetStudyConfig{
+		OSLevels:  []string{"winxp-sp3", "win7"},
+		PLCLevels: []string{"s7-315", "modicon-m340"},
+		Reps:      10,
+		Seed:      42,
+		Workers:   0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Design.NumRuns() != 4 {
+		t.Fatalf("runs = %d, want 4", study.Design.NumRuns())
+	}
+	results, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assessment, err := results.Assess([]Indicator{IndicatorSuccess, IndicatorTTA}, AnovaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assessment.Ranking) != 2 {
+		t.Fatalf("ranking = %+v", assessment.Ranking)
+	}
+	for _, ci := range assessment.Ranking {
+		if ci.Eta2 < 0 || ci.Eta2 > 1 {
+			t.Fatalf("eta2 out of range: %+v", ci)
+		}
+	}
+}
+
+func TestRunScopePlacement(t *testing.T) {
+	cells, err := RunScopePlacement([]int{0, 2}, 30, 3, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 { // 2 counts × 3 strategies
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Find baseline (k=0) and strategic k=2.
+	var base, strategic2 PlacementResult
+	for _, c := range cells {
+		if c.Resilient == 0 && c.Strategy.String() == "strategic" {
+			base = c
+		}
+		if c.Resilient == 2 && c.Strategy.String() == "strategic" {
+			strategic2 = c
+		}
+	}
+	if strategic2.PSuccess >= base.PSuccess {
+		t.Fatalf("strategic hardening did not lower PSA: %v vs %v",
+			strategic2.PSuccess, base.PSuccess)
+	}
+	// Mean TTA is either NaN (no successes) or positive.
+	for _, c := range cells {
+		if !math.IsNaN(c.MeanTTA) && c.MeanTTA <= 0 {
+			t.Fatalf("bad MeanTTA: %+v", c)
+		}
+	}
+}
+
+func TestThreatProfiles(t *testing.T) {
+	profiles := ThreatProfiles()
+	for _, name := range []string{"stuxnet", "duqu", "flame"} {
+		p, ok := profiles[name]
+		if !ok {
+			t.Fatalf("missing profile %q", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile %q invalid: %v", name, err)
+		}
+	}
+}

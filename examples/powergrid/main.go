@@ -1,0 +1,75 @@
+// Power grid scenario: the paper's intro motivates attacks on power
+// distribution ("what if an attacker overloads a power distribution
+// system by breaking into a power grid?"). This example runs the Duqu
+// (reconnaissance) and Stuxnet (sabotage) profiles against a control
+// center + 6 substations grid and shows how firewall and protocol
+// diversity shift the indicators.
+//
+//	go run ./examples/powergrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diversify/internal/des"
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/indicators"
+	"diversify/internal/malware"
+	"diversify/internal/rng"
+	"diversify/internal/topology"
+)
+
+func main() {
+	topo := topology.NewPowerGrid(topology.DefaultPowerGridSpec())
+	cat := exploits.StuxnetCatalog()
+	fmt.Printf("grid: %d nodes, %d substations\n\n", topo.Len(), len(topo.NodesOfKind(topology.KindPLC)))
+
+	configs := []struct {
+		name     string
+		firewall exploits.VariantID
+		proto    exploits.VariantID
+	}{
+		{"baseline (DPI fw, std Modbus)", "", ""},
+		{"basic firewall downgrade", exploits.FWBasic, ""},
+		{"diversified protocol", "", exploits.ProtoModbusDiv},
+		{"data diode + div protocol", exploits.FWDiode, exploits.ProtoModbusDiv},
+	}
+	profiles := []malware.Profile{malware.StuxnetProfile(), malware.DuquProfile()}
+
+	fmt.Printf("%-30s %-9s %-10s %-10s %-10s\n", "configuration", "threat", "Psuccess", "Pdetect", "CRfinal")
+	for _, cfg := range configs {
+		assign := diversity.NewAssignment()
+		if cfg.proto != "" {
+			assign.SetClassEverywhere(topo, exploits.ClassProtocol, cfg.proto)
+		}
+		for _, profile := range profiles {
+			profile := profile
+			cfgFW := cfg.firewall
+			assignFn := assign.Func()
+			outs := des.Replicate(60, 0, 99, func(rep int, r *rng.Rand) indicators.Outcome {
+				c, err := malware.NewCampaign(malware.Config{
+					Topo: topo, Catalog: cat, Profile: profile, Rand: r,
+					Assign: assignFn, FirewallVariant: cfgFW,
+				})
+				if err != nil {
+					return indicators.Outcome{}
+				}
+				out, err := c.Run(720)
+				if err != nil {
+					return indicators.Outcome{}
+				}
+				return out
+			})
+			rep, err := indicators.Summarize(outs, 0.95)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-30s %-9s %-10.2f %-10.2f %-10.3f\n",
+				cfg.name, profile.Name, rep.PSuccess.Point, rep.PDetected.Point, rep.FinalRatio)
+		}
+	}
+	fmt.Println("\nreading: sabotage (stuxnet) is throttled by protocol diversity;")
+	fmt.Println("espionage (duqu) is countered mainly by inspecting/diode firewalls raising detection.")
+}

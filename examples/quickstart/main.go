@@ -1,0 +1,55 @@
+// Quickstart: run the paper's full three-step pipeline in ~30 lines.
+//
+// We ask one question: across OS and PLC-firmware choices, which
+// component is worth diversifying on a small SCADA plant attacked by a
+// Stuxnet-like worm? The pipeline answers with per-configuration
+// indicators and an ANOVA-backed ranking.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diversify"
+)
+
+func main() {
+	study, err := diversify.NewStuxnetStudy(diversify.StuxnetStudyConfig{
+		OSLevels:  []string{"winxp-sp3", "win7"},
+		PLCLevels: []string{"s7-315", "modicon-m340"},
+		Reps:      40,
+		Seed:      2013, // DSN 2013
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-configuration security indicators (30-day horizon):")
+	fmt.Printf("%-44s %-10s %-10s %-10s\n", "configuration", "Psuccess", "TTAmean", "Pdetect")
+	for i, rep := range results.Reports {
+		tta := "-"
+		if rep.TTA.N > 0 {
+			tta = fmt.Sprintf("%.1fh", rep.TTA.Mean)
+		}
+		fmt.Printf("%-44s %-10.2f %-10s %-10.2f\n",
+			results.Design.CellKey(i), rep.PSuccess.Point, tta, rep.PDetected.Point)
+	}
+
+	assessment, err := results.Assess(
+		[]diversify.Indicator{diversify.IndicatorSuccess, diversify.IndicatorTTA},
+		diversify.AnovaOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndiversification priority (ANOVA variance allocation):")
+	for i, ci := range assessment.Ranking {
+		fmt.Printf("  %d. %-10s variance explained %.0f%%  significant=%v\n",
+			i+1, ci.Component, 100*ci.Eta2, ci.Significant)
+	}
+}

@@ -1,0 +1,76 @@
+// SCoPE cooling case study: the paper's own instantiation of the
+// framework, reproduced end to end.
+//
+// Part 1 sweeps the number of hardened ("highly attack-resilient")
+// components and their placement on the SCoPE-like cooling system and
+// prints the attack success probability per cell — the paper's claim is
+// that a small, strategically placed number collapses PSA.
+//
+// Part 2 couples one sampled attack to the physical cooling plant: the
+// SAN model times the PLC compromise, the SCADA layer injects
+// cooling-off logic with record/replay spoofing, and we watch the room
+// heat up while the HMI stays silent.
+//
+//	go run ./examples/scope-cooling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"diversify"
+	"diversify/internal/rng"
+	"diversify/internal/scope"
+)
+
+func main() {
+	fmt.Println("Part 1 — resilient-component placement sweep (80 reps/cell, 30-day horizon)")
+	cells, err := diversify.RunScopePlacement([]int{0, 1, 2, 3, 4}, 80, 7, 720)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-11s %-8s %-10s\n", "resilient", "placement", "PSA", "meanTTA")
+	for _, c := range cells {
+		tta := "-"
+		if !math.IsNaN(c.MeanTTA) {
+			tta = fmt.Sprintf("%.0fh", c.MeanTTA)
+		}
+		fmt.Printf("%-10d %-11s %-8.2f %-10s\n", c.Resilient, c.Strategy, c.PSuccess, tta)
+	}
+
+	fmt.Println("\nPart 2 — one coupled attack on the physical plant (spoofing on)")
+	cs := scope.NewCaseStudy()
+	for seed := uint64(1); seed < 40; seed++ {
+		res, err := cs.EvaluateFullSim(nil, rng.New(seed), 400, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Outcome.Success {
+			continue
+		}
+		fmt.Printf("  attack impaired a cooling PLC at t=%.1fh\n", res.Outcome.TTA)
+		fmt.Printf("  thermal damage accumulated: %.0f%%\n", 100*res.Damage)
+		if res.Alarmed {
+			fmt.Printf("  HMI alarm at t=%.1fh\n", res.AlarmTime)
+		} else {
+			fmt.Println("  HMI alarm: never fired — replay spoofing kept the operators blind")
+		}
+		break
+	}
+
+	fmt.Println("\nPart 3 — cost-balanced diversification planning")
+	fmt.Println("budget 20; hardening a workstation costs 10, upgrading a PLC stack 15")
+	steps, finalPSA, err := cs.OptimizePlacement(20, 10, 15, 60, 5, 720)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range steps {
+		fmt.Printf("  %d. %-20s (cost %.0f, PSA now %.2f)\n",
+			i+1, s.Move.Name, s.Move.Cost, s.MetricAfter)
+	}
+	fmt.Printf("final attack success probability: %.2f\n", finalPSA)
+	fmt.Println("the greedy planner rediscovers the control-node cut set on its own —")
+	fmt.Println("the paper's 'balanced approach between secure system design and")
+	fmt.Println("diversification costs' as an algorithm.")
+}

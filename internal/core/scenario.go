@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/indicators"
+	"diversify/internal/malware"
+	"diversify/internal/rng"
+	"diversify/internal/topology"
+)
+
+// CampaignScenario runs a malware campaign on a topology, with DoE factor
+// levels bound to component variants through Bind. The topology and
+// catalog are shared read-only across replications.
+type CampaignScenario struct {
+	Label   string
+	Topo    *topology.Topology
+	Catalog *exploits.Catalog
+	Profile malware.Profile
+	Horizon float64
+	// Bind interprets the factor levels into campaign configuration
+	// (assignment overlay, firewall override). A nil Bind runs the
+	// topology defaults.
+	Bind func(levels Levels, cfg *malware.Config) error
+}
+
+var _ Scenario = (*CampaignScenario)(nil)
+
+// Name returns the scenario label.
+func (s *CampaignScenario) Name() string { return s.Label }
+
+// Evaluate executes one campaign replication.
+func (s *CampaignScenario) Evaluate(levels Levels, r *rng.Rand) (indicators.Outcome, error) {
+	cfg := malware.Config{
+		Topo:    s.Topo,
+		Catalog: s.Catalog,
+		Profile: s.Profile,
+		Rand:    r,
+	}
+	if s.Bind != nil {
+		if err := s.Bind(levels, &cfg); err != nil {
+			return indicators.Outcome{}, fmt.Errorf("core: binding levels %v: %w", levels, err)
+		}
+	}
+	c, err := malware.NewCampaign(cfg)
+	if err != nil {
+		return indicators.Outcome{}, err
+	}
+	return c.Run(s.Horizon)
+}
+
+// BindVariantFactors returns a Bind function for the common case where
+// every factor level names a variant ID applied class-wide:
+//
+//	classes: factor name → component class.
+//
+// The special class exploits.ClassFirewall sets the campaign's firewall
+// override instead of a node assignment (firewalls live on links).
+func BindVariantFactors(topo *topology.Topology, classes map[string]exploits.Class) func(Levels, *malware.Config) error {
+	return func(levels Levels, cfg *malware.Config) error {
+		assign := diversity.NewAssignment()
+		touched := false
+		for factor, class := range classes {
+			level, ok := levels[factor]
+			if !ok {
+				return fmt.Errorf("core: design has no factor %q", factor)
+			}
+			variant := exploits.VariantID(level)
+			if class == exploits.ClassFirewall {
+				cfg.FirewallVariant = variant
+				continue
+			}
+			assign.SetClassEverywhere(topo, class, variant)
+			touched = true
+		}
+		if touched {
+			cfg.Assign = assign.Func()
+		}
+		return nil
+	}
+}

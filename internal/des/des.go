@@ -1,0 +1,287 @@
+// Package des implements the discrete-event simulation core that every
+// time-driven model in the framework (SAN execution, SCADA testbed, worm
+// propagation) runs on.
+//
+// A Sim owns a virtual clock and a pending-event heap. Events scheduled at
+// the same instant fire in scheduling order (FIFO tie-breaking via a
+// monotonically increasing sequence number), which keeps runs exactly
+// reproducible for a given seed.
+//
+// The package also provides Replicate, a parallel replication runner that
+// assigns each replication an independent RNG stream split from a campaign
+// seed, making results independent of the number of worker goroutines.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"diversify/internal/rng"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Event is a scheduled callback. A fired or cancelled event is inert.
+type Event struct {
+	time      float64
+	seq       uint64
+	index     int // heap index; -1 when not queued
+	fn        func()
+	cancelled bool
+}
+
+// Time returns the virtual time this event is (or was) scheduled for.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel removes the event from the pending set. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a sequential discrete-event simulator. The zero value is ready to
+// use; it is not safe for concurrent use.
+type Sim struct {
+	now     float64
+	seq     uint64
+	pending eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewSim returns a simulator with the clock at zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() float64 { return s.now }
+
+// FiredEvents returns how many events have executed so far.
+func (s *Sim) FiredEvents() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.pending {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule enqueues fn to run after delay units of virtual time and
+// returns the event handle (usable to Cancel). It panics on negative or
+// NaN delays — a scheduling bug, not a runtime condition.
+func (s *Sim) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn to run at absolute virtual time t (>= Now).
+func (s *Sim) ScheduleAt(t float64, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.pending, e)
+	return e
+}
+
+// Stop halts the current Run after the in-flight event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Step fires the single earliest pending event. It returns false when no
+// events remain.
+func (s *Sim) Step() bool {
+	for len(s.pending) > 0 {
+		e := heap.Pop(&s.pending).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.time
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the clock would pass horizon, the
+// event queue empties, or Stop is called. The clock is left at
+// min(horizon, time of last event). It returns ErrStopped if halted by
+// Stop, nil otherwise.
+func (s *Sim) Run(horizon float64) error {
+	if math.IsNaN(horizon) {
+		return fmt.Errorf("des: NaN horizon: %w", ErrStopped)
+	}
+	s.stopped = false
+	for len(s.pending) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.time > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunUntil executes events until pred() returns true (checked after every
+// event), the horizon is reached, or the queue empties. It reports whether
+// pred became true.
+func (s *Sim) RunUntil(horizon float64, pred func() bool) (bool, error) {
+	if pred() {
+		return true, nil
+	}
+	s.stopped = false
+	for len(s.pending) > 0 {
+		if s.stopped {
+			return false, ErrStopped
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.time > horizon {
+			s.now = horizon
+			return false, nil
+		}
+		s.Step()
+		if pred() {
+			return true, nil
+		}
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return false, nil
+}
+
+// peek returns the earliest non-cancelled event without firing it,
+// discarding cancelled ones as it goes.
+func (s *Sim) peek() *Event {
+	for len(s.pending) > 0 {
+		e := s.pending[0]
+		if !e.cancelled {
+			return e
+		}
+		heap.Pop(&s.pending)
+	}
+	return nil
+}
+
+// Every schedules fn to run now+period, then every period thereafter, until
+// the returned stop function is called. fn receives the firing time.
+func (s *Sim) Every(period float64, fn func(t float64)) (stop func()) {
+	if period <= 0 || math.IsNaN(period) {
+		panic(fmt.Sprintf("des: invalid period %v", period))
+	}
+	stopped := false
+	var tick func()
+	var ev *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(s.now)
+		if !stopped {
+			ev = s.Schedule(period, tick)
+		}
+	}
+	ev = s.Schedule(period, tick)
+	return func() {
+		stopped = true
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+}
+
+// Replicate runs n independent replications of body, spreading them over
+// workers goroutines (workers <= 0 selects GOMAXPROCS). Each replication
+// receives its index and a dedicated RNG stream derived deterministically
+// from seed, so the output slice is identical regardless of the worker
+// count. Results are returned in replication order.
+func Replicate[T any](n, workers int, seed uint64, body func(rep int, r *rng.Rand) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Derive all streams up front from a single root so assignment to
+	// workers cannot affect the streams.
+	root := rng.New(seed)
+	streams := make([]*rng.Rand, n)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	out := make([]T, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = body(i, streams[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,310 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diversify/internal/rng"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock = %v, want horizon 10", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := NewSim()
+	var order []string
+	s.Schedule(1, func() { order = append(order, "a") })
+	s.Schedule(1, func() { order = append(order, "b") })
+	s.Schedule(1, func() { order = append(order, "c") })
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("simultaneous events not FIFO: %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(1, func() { times = append(times, s.Now()) })
+	})
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("nested schedule times: %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	ev := s.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.FiredEvents() != 0 {
+		t.Fatalf("FiredEvents = %d, want 0", s.FiredEvents())
+	}
+}
+
+func TestHorizonStopsBeforeEvent(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.Schedule(10, func() { fired = true })
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", s.Now())
+	}
+	// Resuming past the event must fire it at its original time.
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire after extending horizon")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewSim()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	err := s.Run(100)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() { count++ })
+	}
+	ok, err := s.RunUntil(100, func() bool { return count >= 4 })
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if count != 4 || s.Now() != 4 {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+	// Predicate never satisfied: runs to horizon.
+	ok, err = s.RunUntil(6, func() bool { return false })
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if s.Now() != 6 {
+		t.Fatalf("now=%v, want 6", s.Now())
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := NewSim()
+	s.Schedule(5, func() {})
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewSim().Schedule(-1, func() {})
+}
+
+func TestEvery(t *testing.T) {
+	s := NewSim()
+	var ticks []float64
+	stop := s.Every(2, func(now float64) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			// stop is captured below; cancel via closure variable.
+		}
+	})
+	s.Schedule(7, func() { stop() })
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryStopInsideCallback(t *testing.T) {
+	s := NewSim()
+	n := 0
+	var stop func()
+	stop = s.Every(1, func(float64) {
+		n++
+		if n == 2 {
+			stop()
+		}
+	})
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := NewSim()
+	e1 := s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	e1.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestManyEventsThroughput(t *testing.T) {
+	s := NewSim()
+	r := rng.New(1)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Schedule(r.Float64()*1000, func() {})
+	}
+	if err := s.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	if s.FiredEvents() != n {
+		t.Fatalf("fired %d of %d", s.FiredEvents(), n)
+	}
+}
+
+func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
+	body := func(rep int, r *rng.Rand) float64 {
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			sum += r.Float64()
+		}
+		return sum
+	}
+	one := Replicate(50, 1, 42, body)
+	four := Replicate(50, 4, 42, body)
+	sixteen := Replicate(50, 16, 42, body)
+	for i := range one {
+		if one[i] != four[i] || one[i] != sixteen[i] {
+			t.Fatalf("replication %d differs across worker counts: %v %v %v",
+				i, one[i], four[i], sixteen[i])
+		}
+	}
+}
+
+func TestReplicateStreamsIndependent(t *testing.T) {
+	out := Replicate(20, 4, 7, func(rep int, r *rng.Rand) float64 { return r.Float64() })
+	seen := map[float64]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate first draw %v across replications", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestReplicateZero(t *testing.T) {
+	if out := Replicate(0, 4, 1, func(int, *rng.Rand) int { return 1 }); out != nil {
+		t.Fatalf("Replicate(0) = %v, want nil", out)
+	}
+}
+
+// Property: for random schedules, events always fire in nondecreasing time
+// order and the clock never goes backwards.
+func TestQuickMonotoneClock(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := rng.New(seed)
+		s := NewSim()
+		last := math.Inf(-1)
+		ok := true
+		for i := 0; i < n; i++ {
+			s.Schedule(r.Float64()*100, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		if err := s.Run(1000); err != nil {
+			return false
+		}
+		return ok && s.FiredEvents() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSim()
+		for j := 0; j < 1000; j++ {
+			s.Schedule(r.Float64()*100, func() {})
+		}
+		if err := s.Run(200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package diversity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadPlan reports an invalid optimization request.
+var ErrBadPlan = errors.New("diversity: invalid plan")
+
+// Move is one candidate diversification action (e.g. "harden control-0",
+// "switch plc-2 to the diversified protocol") with its cost.
+type Move struct {
+	Name string
+	Cost float64
+	// Apply performs the action on an assignment.
+	Apply func(a *Assignment)
+}
+
+// PlanStep records one selected move with the metric measured after
+// applying it.
+type PlanStep struct {
+	Move        Move
+	MetricAfter float64
+	SpentAfter  float64
+}
+
+// GreedyPlan selects diversification moves under a budget to minimize a
+// badness metric (typically the attack success probability). It
+// implements the paper's "balanced approach between secure system design
+// and diversification costs": at each round the affordable move with the
+// best metric-reduction-per-cost ratio is applied; when no single move
+// improves the metric the planner looks ahead one level and evaluates
+// affordable *pairs*, which is what discovers complementary cut sets
+// (hardening one of two redundant control nodes achieves nothing — both
+// together close the attack path). The search stops when the budget is
+// exhausted or no affordable move or pair improves the metric.
+//
+// metric must be deterministic for a given assignment (fix the seed of
+// any Monte-Carlo estimate); it is invoked O(rounds × |moves|²) times in
+// the worst case.
+func GreedyPlan(base *Assignment, moves []Move, budget float64,
+	metric func(a *Assignment) (float64, error)) ([]PlanStep, float64, error) {
+	if metric == nil || len(moves) == 0 {
+		return nil, 0, fmt.Errorf("%w: metric and moves are required", ErrBadPlan)
+	}
+	if budget < 0 || math.IsNaN(budget) {
+		return nil, 0, fmt.Errorf("%w: budget %v", ErrBadPlan, budget)
+	}
+	for i, m := range moves {
+		if m.Apply == nil || m.Cost < 0 || math.IsNaN(m.Cost) {
+			return nil, 0, fmt.Errorf("%w: move %d (%q) has no apply or negative cost", ErrBadPlan, i, m.Name)
+		}
+	}
+	current := base
+	if current == nil {
+		current = NewAssignment()
+	} else {
+		current = current.Clone()
+	}
+	currentMetric, err := metric(current)
+	if err != nil {
+		return nil, 0, fmt.Errorf("diversity: evaluating baseline: %w", err)
+	}
+	remaining := append([]Move(nil), moves...)
+	spent := 0.0
+	var steps []PlanStep
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestMetric := currentMetric
+		bestRatio := 0.0
+		for i, m := range remaining {
+			if spent+m.Cost > budget {
+				continue
+			}
+			trial := current.Clone()
+			m.Apply(trial)
+			v, err := metric(trial)
+			if err != nil {
+				return nil, 0, fmt.Errorf("diversity: evaluating move %q: %w", m.Name, err)
+			}
+			gain := currentMetric - v
+			if gain <= 0 {
+				continue
+			}
+			ratio := gain / math.Max(m.Cost, 1e-9)
+			if bestIdx == -1 || ratio > bestRatio {
+				bestIdx = i
+				bestRatio = ratio
+				bestMetric = v
+			}
+		}
+		if bestIdx >= 0 {
+			chosen := remaining[bestIdx]
+			chosen.Apply(current)
+			spent += chosen.Cost
+			currentMetric = bestMetric
+			steps = append(steps, PlanStep{Move: chosen, MetricAfter: currentMetric, SpentAfter: spent})
+			remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+			continue
+		}
+		// No single move helps: look ahead at pairs (complementary
+		// defenses such as redundant control nodes only pay off jointly).
+		bestI, bestJ := -1, -1
+		bestRatio = 0
+		for i := 0; i < len(remaining); i++ {
+			for j := i + 1; j < len(remaining); j++ {
+				cost := remaining[i].Cost + remaining[j].Cost
+				if spent+cost > budget {
+					continue
+				}
+				trial := current.Clone()
+				remaining[i].Apply(trial)
+				remaining[j].Apply(trial)
+				v, err := metric(trial)
+				if err != nil {
+					return nil, 0, fmt.Errorf("diversity: evaluating pair %q+%q: %w",
+						remaining[i].Name, remaining[j].Name, err)
+				}
+				gain := currentMetric - v
+				if gain <= 0 {
+					continue
+				}
+				ratio := gain / math.Max(cost, 1e-9)
+				if bestI == -1 || ratio > bestRatio {
+					bestI, bestJ = i, j
+					bestRatio = ratio
+					bestMetric = v
+				}
+			}
+		}
+		if bestI == -1 {
+			break // nothing affordable improves the metric
+		}
+		first, second := remaining[bestI], remaining[bestJ]
+		first.Apply(current)
+		spent += first.Cost
+		// Metric after only the first half of the pair (informational).
+		midMetric, err := metric(current)
+		if err != nil {
+			return nil, 0, fmt.Errorf("diversity: evaluating mid-pair: %w", err)
+		}
+		steps = append(steps, PlanStep{Move: first, MetricAfter: midMetric, SpentAfter: spent})
+		second.Apply(current)
+		spent += second.Cost
+		currentMetric = bestMetric
+		steps = append(steps, PlanStep{Move: second, MetricAfter: currentMetric, SpentAfter: spent})
+		// Remove both (bestJ > bestI).
+		remaining = append(remaining[:bestJ], remaining[bestJ+1:]...)
+		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
+	}
+	return steps, currentMetric, nil
+}

@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick returns small-but-meaningful options for CI-speed runs.
+func quick() Opts { return Opts{Reps: 20, Seed: 1} }
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("e7"); err != nil {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, err := ByID("E99"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestE1ProductRule(t *testing.T) {
+	res, err := E1DiversityProduct(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 10)
+	// Parse one row and verify the analytic columns: n=2, PM=0.5 →
+	// identical 0.5, diverse 0.25.
+	row := findRow(t, res, "2    0.50")
+	fields := strings.Fields(row)
+	ident, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divers, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ident != 0.5 || divers != 0.25 {
+		t.Fatalf("row values: ident=%v divers=%v", ident, divers)
+	}
+}
+
+func TestE2DiversityDegree(t *testing.T) {
+	res, err := E2TimeToAttack(Opts{Reps: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 5)
+	// Success probability at k=1 must exceed k=4.
+	p1 := psFromRow(t, res, "1    ")
+	p4 := psFromRow(t, res, "4    ")
+	if p1 <= p4 {
+		t.Fatalf("diversity did not reduce success: k1=%v k4=%v", p1, p4)
+	}
+}
+
+func psFromRow(t *testing.T, res *Result, prefix string) float64 {
+	t.Helper()
+	row := findRow(t, res, prefix)
+	fields := strings.Fields(row)
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		t.Fatalf("row %q: %v", row, err)
+	}
+	return v
+}
+
+func TestE3MadanAgreement(t *testing.T) {
+	res, err := E3TTSF(Opts{Reps: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 6)
+	// Every row's relative error between exact CTMC and SAN simulation
+	// must be small.
+	for _, line := range res.Lines {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] == "detect" {
+			continue
+		}
+		relErr, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil {
+			continue
+		}
+		if relErr > 0.15 {
+			t.Fatalf("SAN vs CTMC divergence: %s", line)
+		}
+	}
+}
+
+func TestE4Curves(t *testing.T) {
+	res, err := E4CompromisedRatio(Opts{Reps: 15, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 7)
+}
+
+func TestE5Screening(t *testing.T) {
+	res, err := E5DoEScreening(Opts{Reps: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 4)
+	// All three designs keep max effect-estimation error under control.
+	for _, name := range []string{"full 2^6", "2^(6-2)", "PB(8)"} {
+		row := findRow(t, res, name)
+		idx := strings.LastIndex(row, "max err ")
+		if idx < 0 {
+			t.Fatalf("row %q missing max err", row)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[idx+8:], ")"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 0.6 {
+			t.Fatalf("%s effect error too large: %v", name, v)
+		}
+	}
+}
+
+func TestE6Allocation(t *testing.T) {
+	res, err := E6AnovaAllocation(Opts{Reps: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 10)
+	if findRow(t, res, "  1. ") == "" {
+		t.Fatal("no ranking emitted")
+	}
+}
+
+func TestE7Placement(t *testing.T) {
+	res, err := E7ScopePlacement(Opts{Reps: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 16)
+	// Strategic k=4 must beat the k=0 baseline decisively.
+	base := psaFromPlacementRow(t, res, "0          strategic")
+	k4 := psaFromPlacementRow(t, res, "4          strategic")
+	if base-k4 < 0.2 {
+		t.Fatalf("placement effect too small: base=%v k4=%v", base, k4)
+	}
+}
+
+func psaFromPlacementRow(t *testing.T, res *Result, prefix string) float64 {
+	t.Helper()
+	row := findRow(t, res, prefix)
+	fields := strings.Fields(row)
+	v, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		t.Fatalf("row %q: %v", row, err)
+	}
+	return v
+}
+
+func TestE8Threats(t *testing.T) {
+	res, err := E8ThreatModels(Opts{Reps: 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 7)
+	for _, name := range []string{"stuxnet", "duqu", "flame"} {
+		if findRow(t, res, name) == "" {
+			t.Fatalf("missing threat row %s", name)
+		}
+	}
+}
+
+func TestE9SelfCheck(t *testing.T) {
+	res, err := E9PipelineEndToEnd(Opts{Reps: 40, Seed: 9})
+	if err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, res)
+	}
+	for _, line := range res.Lines {
+		if strings.Contains(line, "FAIL") {
+			t.Fatalf("self-check line failed: %s", line)
+		}
+	}
+}
+
+func TestE10Dialect(t *testing.T) {
+	res, err := E10ProtocolDialect(Opts{Reps: 50, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 5)
+	std := findRow(t, res, "standard ")
+	div := findRow(t, res, "diversified ")
+	stdFields := strings.Fields(std)
+	divFields := strings.Fields(div)
+	stdSucc, err := strconv.Atoi(stdFields[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	divSucc, err := strconv.Atoi(divFields[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdSucc != 50 {
+		t.Fatalf("standard server blocked writes: %d/50", stdSucc)
+	}
+	if divSucc != 0 {
+		t.Fatalf("diversified server accepted %d attacker writes", divSucc)
+	}
+}
+
+func assertTable(t *testing.T, res *Result, minLines int) {
+	t.Helper()
+	if res == nil || len(res.Lines) < minLines {
+		t.Fatalf("result too small: %+v", res)
+	}
+	if res.String() == "" || !strings.Contains(res.String(), res.ID) {
+		t.Fatal("String() malformed")
+	}
+}
+
+func findRow(t *testing.T, res *Result, prefix string) string {
+	t.Helper()
+	for _, l := range res.Lines {
+		if strings.HasPrefix(l, prefix) {
+			return l
+		}
+	}
+	t.Fatalf("no row with prefix %q in:\n%s", prefix, res)
+	return ""
+}
+
+func TestE11Sensitivity(t *testing.T) {
+	res, err := E11Sensitivity(Opts{Reps: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 12)
+	if findRow(t, res, "conclusion stable") == "" ||
+		!strings.Contains(findRow(t, res, "conclusion stable"), "PASS") {
+		t.Fatalf("calibration stability failed:\n%s", res)
+	}
+	// Deterministic stage: keep completes, resample starves.
+	det := findRow(t, res, "Det(2.0)")
+	fields := strings.Fields(det)
+	keep, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resample, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep != 1 || resample != 0 {
+		t.Fatalf("semantics ablation wrong: keep=%v resample=%v", keep, resample)
+	}
+	// Exponential stage: semantics agree.
+	exp := findRow(t, res, "Exp(0.5)")
+	fields = strings.Fields(exp)
+	eKeep, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRes, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mathAbs(eKeep-eRes) > 0.25 {
+		t.Fatalf("exponential semantics diverge: %v vs %v", eKeep, eRes)
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestE12Formalisms(t *testing.T) {
+	res, err := E12BayesFormalism(Opts{Reps: 3000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 4)
+	for _, line := range res.Lines {
+		if strings.Contains(line, "WARNING") {
+			t.Fatalf("formalisms disagree:\n%s", res)
+		}
+	}
+	// BN exact and MC agree per row.
+	for _, prefix := range []string{"winxp-sp3+s7-315", "win7+modicon-m340"} {
+		row := findRow(t, res, prefix)
+		fields := strings.Fields(row)
+		bn, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mathAbs(bn-mc) > 0.03 {
+			t.Fatalf("BN %v vs MC %v in %q", bn, mc, row)
+		}
+	}
+}
+
+func TestE13CostFrontier(t *testing.T) {
+	res, err := E13CostFrontier(Opts{Reps: 40, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTable(t, res, 8)
+	// PSA must be monotone nonincreasing in budget.
+	prev := 2.0
+	for _, budget := range []string{"0  ", "10 ", "20 ", "35 ", "50 "} {
+		row := findRow(t, res, strings.TrimSpace(budget)+" ")
+		fields := strings.Fields(row)
+		psa, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("row %q: %v", row, err)
+		}
+		if psa > prev+1e-9 {
+			t.Fatalf("PSA rose with budget: %v after %v", psa, prev)
+		}
+		prev = psa
+	}
+	// Budget 20 buys the cut set → PSA ~0.
+	row := findRow(t, res, "20 ")
+	psa, err := strconv.ParseFloat(strings.Fields(row)[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psa > 0.1 {
+		t.Fatalf("budget-20 PSA = %v, want ~0", psa)
+	}
+}

@@ -1,0 +1,227 @@
+// Package indicators defines the security indicators the paper proposes
+// in §II and their estimators over Monte-Carlo replications:
+//
+//	(i)   Time-To-Attack — "the time between the beginning and completion
+//	      of an attack";
+//	(ii)  Time-To-Security-Failure — "the time between the beginning of
+//	      the attack and the perceived attack manifestation" (Madan et
+//	      al.);
+//	(iii) compromised ratio — "the number of compromised components at
+//	      time t with respect to the total number of components".
+//
+// A scenario replication produces an Outcome; estimator functions reduce
+// slices of Outcomes to point estimates with confidence intervals.
+package indicators
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"diversify/internal/stats"
+)
+
+// ErrNoData reports an estimator called on an empty or degenerate sample.
+var ErrNoData = errors.New("indicators: no data")
+
+// Point is one sample of a time series.
+type Point struct {
+	T     float64
+	Value float64
+}
+
+// Outcome is the result of one attack-campaign replication.
+type Outcome struct {
+	// Success reports whether the attack reached its objective within
+	// the horizon; TTA is the completion time (valid when Success).
+	Success bool
+	TTA     float64
+	// Detected reports whether defenders perceived the attack; TTSF is
+	// the perceived-manifestation time (valid when Detected).
+	Detected bool
+	TTSF     float64
+	// Horizon is the replication's observation window.
+	Horizon float64
+	// Compromised is the compromised-ratio time series (nondecreasing
+	// steps in [0,1], times ascending).
+	Compromised []Point
+}
+
+// SuccessProbability returns the attack-success fraction with a Wilson
+// confidence interval at the given level.
+func SuccessProbability(outcomes []Outcome, level float64) (stats.Interval, error) {
+	if len(outcomes) == 0 {
+		return stats.Interval{}, ErrNoData
+	}
+	succ := 0
+	for _, o := range outcomes {
+		if o.Success {
+			succ++
+		}
+	}
+	return stats.ProportionCI(succ, len(outcomes), level)
+}
+
+// TTASummary describes Time-To-Attack over the successful replications
+// only (the conventional conditional-on-success reading). It returns
+// ErrNoData when no replication succeeded.
+func TTASummary(outcomes []Outcome) (stats.Summary, error) {
+	var times []float64
+	for _, o := range outcomes {
+		if o.Success {
+			times = append(times, o.TTA)
+		}
+	}
+	if len(times) == 0 {
+		return stats.Summary{}, fmt.Errorf("%w: no successful attacks", ErrNoData)
+	}
+	return stats.Describe(times), nil
+}
+
+// TTACI returns the mean Time-To-Attack of successful replications with a
+// Student-t confidence interval.
+func TTACI(outcomes []Outcome, level float64) (stats.Interval, error) {
+	var times []float64
+	for _, o := range outcomes {
+		if o.Success {
+			times = append(times, o.TTA)
+		}
+	}
+	if len(times) < 2 {
+		return stats.Interval{}, fmt.Errorf("%w: %d successful attacks", ErrNoData, len(times))
+	}
+	return stats.MeanCI(times, level)
+}
+
+// TTSFSummary describes Time-To-Security-Failure over detected
+// replications. Undetected attacks are censored at the horizon; setting
+// includeCensored counts them at the horizon value (a conservative lower
+// bound commonly reported alongside the detected-only mean).
+func TTSFSummary(outcomes []Outcome, includeCensored bool) (stats.Summary, error) {
+	var times []float64
+	for _, o := range outcomes {
+		switch {
+		case o.Detected:
+			times = append(times, o.TTSF)
+		case includeCensored:
+			times = append(times, o.Horizon)
+		}
+	}
+	if len(times) == 0 {
+		return stats.Summary{}, fmt.Errorf("%w: no detections", ErrNoData)
+	}
+	return stats.Describe(times), nil
+}
+
+// DetectionRate returns the fraction of replications in which defenders
+// perceived the attack, with a Wilson interval.
+func DetectionRate(outcomes []Outcome, level float64) (stats.Interval, error) {
+	if len(outcomes) == 0 {
+		return stats.Interval{}, ErrNoData
+	}
+	det := 0
+	for _, o := range outcomes {
+		if o.Detected {
+			det++
+		}
+	}
+	return stats.ProportionCI(det, len(outcomes), level)
+}
+
+// RatioAt evaluates a compromised-ratio step series at time t (the value
+// of the last point at or before t; 0 before the first point).
+func RatioAt(series []Point, t float64) float64 {
+	v := 0.0
+	for _, p := range series {
+		if p.T > t {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// MeanCompromisedCurve averages the compromised ratio across replications
+// on a uniform grid of n points over [0, horizon].
+func MeanCompromisedCurve(outcomes []Outcome, horizon float64, n int) ([]Point, error) {
+	if len(outcomes) == 0 || n <= 1 || horizon <= 0 {
+		return nil, ErrNoData
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		t := horizon * float64(i) / float64(n-1)
+		sum := 0.0
+		for _, o := range outcomes {
+			sum += RatioAt(o.Compromised, t)
+		}
+		out[i] = Point{T: t, Value: sum / float64(len(outcomes))}
+	}
+	return out, nil
+}
+
+// ValidateSeries checks the structural invariants of a compromised-ratio
+// series: times ascending, values in [0,1] and nondecreasing.
+func ValidateSeries(series []Point) error {
+	for i, p := range series {
+		if p.Value < -1e-12 || p.Value > 1+1e-12 || math.IsNaN(p.Value) {
+			return fmt.Errorf("indicators: point %d value %v outside [0,1]", i, p.Value)
+		}
+		if i > 0 {
+			if p.T < series[i-1].T {
+				return fmt.Errorf("indicators: series times not ascending at %d", i)
+			}
+			if p.Value < series[i-1].Value-1e-12 {
+				return fmt.Errorf("indicators: compromised ratio decreased at %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Report is the standard per-configuration indicator block the campaign
+// runner emits for tables.
+type Report struct {
+	N           int
+	PSuccess    stats.Interval
+	PDetected   stats.Interval
+	TTA         stats.Summary
+	TTSF        stats.Summary
+	FinalRatio  float64 // mean compromised ratio at the horizon
+	MedianRatio float64 // median across replications at the horizon
+}
+
+// Summarize computes a Report at the given confidence level.
+func Summarize(outcomes []Outcome, level float64) (Report, error) {
+	if len(outcomes) == 0 {
+		return Report{}, ErrNoData
+	}
+	rep := Report{N: len(outcomes)}
+	var err error
+	rep.PSuccess, err = SuccessProbability(outcomes, level)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.PDetected, err = DetectionRate(outcomes, level)
+	if err != nil {
+		return Report{}, err
+	}
+	// TTA/TTSF may legitimately be empty (no successes / no detections).
+	if s, err := TTASummary(outcomes); err == nil {
+		rep.TTA = s
+	}
+	if s, err := TTSFSummary(outcomes, false); err == nil {
+		rep.TTSF = s
+	}
+	finals := make([]float64, 0, len(outcomes))
+	sum := 0.0
+	for _, o := range outcomes {
+		v := RatioAt(o.Compromised, o.Horizon)
+		finals = append(finals, v)
+		sum += v
+	}
+	rep.FinalRatio = sum / float64(len(outcomes))
+	sort.Float64s(finals)
+	rep.MedianRatio = finals[len(finals)/2]
+	return rep, nil
+}

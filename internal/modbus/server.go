@@ -1,0 +1,254 @@
+package modbus
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MemoryModel is a thread-safe Modbus data model: holding registers,
+// input registers, coils and discrete inputs, each a fixed-size bank.
+type MemoryModel struct {
+	mu       sync.RWMutex
+	holding  []uint16
+	input    []uint16
+	coils    []bool
+	discrete []bool
+}
+
+// NewMemoryModel allocates banks of the given sizes.
+func NewMemoryModel(holdingN, inputN, coilN, discreteN int) *MemoryModel {
+	return &MemoryModel{
+		holding:  make([]uint16, holdingN),
+		input:    make([]uint16, inputN),
+		coils:    make([]bool, coilN),
+		discrete: make([]bool, discreteN),
+	}
+}
+
+// SetInput stores an input register (the process side feeding sensor
+// values).
+func (m *MemoryModel) SetInput(addr int, v uint16) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr < 0 || addr >= len(m.input) {
+		return fmt.Errorf("modbus: input register %d out of range", addr)
+	}
+	m.input[addr] = v
+	return nil
+}
+
+// SetDiscrete stores a discrete input bit.
+func (m *MemoryModel) SetDiscrete(addr int, v bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr < 0 || addr >= len(m.discrete) {
+		return fmt.Errorf("modbus: discrete input %d out of range", addr)
+	}
+	m.discrete[addr] = v
+	return nil
+}
+
+// Holding reads a holding register (the process side reading setpoints).
+func (m *MemoryModel) Holding(addr int) (uint16, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if addr < 0 || addr >= len(m.holding) {
+		return 0, fmt.Errorf("modbus: holding register %d out of range", addr)
+	}
+	return m.holding[addr], nil
+}
+
+// SetHolding stores a holding register directly (local logic, not wire).
+func (m *MemoryModel) SetHolding(addr int, v uint16) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr < 0 || addr >= len(m.holding) {
+		return fmt.Errorf("modbus: holding register %d out of range", addr)
+	}
+	m.holding[addr] = v
+	return nil
+}
+
+// Coil reads a coil state.
+func (m *MemoryModel) Coil(addr int) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if addr < 0 || addr >= len(m.coils) {
+		return false, fmt.Errorf("modbus: coil %d out of range", addr)
+	}
+	return m.coils[addr], nil
+}
+
+// Handle executes a request PDU against the model and returns the
+// response PDU (a normal response or an exception).
+func (m *MemoryModel) Handle(req PDU) PDU {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch req.Function {
+	case FuncReadHolding, FuncReadInput:
+		start, count, err := ParseReadRequest(req.Data)
+		if err != nil || count == 0 || count > maxReadCount {
+			return ExceptionPDU(req.Function, ExIllegalDataValue)
+		}
+		bank := m.holding
+		if req.Function == FuncReadInput {
+			bank = m.input
+		}
+		if int(start)+int(count) > len(bank) {
+			return ExceptionPDU(req.Function, ExIllegalDataAddress)
+		}
+		return PDU{Function: req.Function, Data: RegistersToBytes(bank[start : start+count])}
+
+	case FuncReadCoils, FuncReadDiscreteInputs:
+		start, count, err := ParseReadRequest(req.Data)
+		if err != nil || count == 0 || count > 2000 {
+			return ExceptionPDU(req.Function, ExIllegalDataValue)
+		}
+		bank := m.coils
+		if req.Function == FuncReadDiscreteInputs {
+			bank = m.discrete
+		}
+		if int(start)+int(count) > len(bank) {
+			return ExceptionPDU(req.Function, ExIllegalDataAddress)
+		}
+		return PDU{Function: req.Function, Data: CoilsToBytes(bank[start : start+count])}
+
+	case FuncWriteSingleReg:
+		addr, value, err := ParseWriteSingle(req.Data)
+		if err != nil {
+			return ExceptionPDU(req.Function, ExIllegalDataValue)
+		}
+		if int(addr) >= len(m.holding) {
+			return ExceptionPDU(req.Function, ExIllegalDataAddress)
+		}
+		m.holding[addr] = value
+		return PDU{Function: req.Function, Data: append([]byte(nil), req.Data...)}
+
+	case FuncWriteSingleCoil:
+		addr, value, err := ParseWriteSingle(req.Data)
+		if err != nil || (value != 0xFF00 && value != 0x0000) {
+			return ExceptionPDU(req.Function, ExIllegalDataValue)
+		}
+		if int(addr) >= len(m.coils) {
+			return ExceptionPDU(req.Function, ExIllegalDataAddress)
+		}
+		m.coils[addr] = value == 0xFF00
+		return PDU{Function: req.Function, Data: append([]byte(nil), req.Data...)}
+
+	case FuncWriteMultipleRegs:
+		start, values, err := ParseWriteMultiple(req.Data)
+		if err != nil || len(values) == 0 {
+			return ExceptionPDU(req.Function, ExIllegalDataValue)
+		}
+		if int(start)+len(values) > len(m.holding) {
+			return ExceptionPDU(req.Function, ExIllegalDataAddress)
+		}
+		copy(m.holding[start:], values)
+		resp := make([]byte, 4)
+		copy(resp, req.Data[0:4])
+		return PDU{Function: req.Function, Data: resp}
+
+	default:
+		return ExceptionPDU(req.Function, ExIllegalFunction)
+	}
+}
+
+// Handler processes a semantic request PDU into a response PDU.
+type Handler interface {
+	Handle(req PDU) PDU
+}
+
+// Server serves Modbus requests over stream connections using a dialect.
+type Server struct {
+	handler Handler
+	dialect Dialect
+
+	mu     sync.Mutex
+	lis    net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server over handler speaking dialect.
+func NewServer(handler Handler, dialect Dialect) *Server {
+	return &Server{handler: handler, dialect: dialect}
+}
+
+// Serve accepts connections until the listener fails or Close is called.
+// It blocks; run it in a goroutine and pair it with Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("modbus: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ServeConn serves a single connection until EOF or a protocol error.
+// Dialect authentication failures answer with an illegal-function
+// exception in standard framing (leaking nothing about the dialect) and
+// keep the connection open.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() {
+		if err := conn.Close(); err != nil {
+			_ = err // best-effort close; connection is finished either way
+		}
+	}()
+	for {
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF, timeout or garbage framing: drop the connection
+		}
+		sem, err := s.dialect.Unwrap(frame.PDU)
+		var respPDU PDU
+		if err != nil {
+			respPDU = ExceptionPDU(frame.PDU.Function, ExIllegalFunction)
+		} else {
+			respPDU = s.dialect.Wrap(s.handler.Handle(sem))
+		}
+		out, err := EncodeFrame(Frame{Transaction: frame.Transaction, Unit: frame.Unit, PDU: respPDU})
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+var _ Handler = (*MemoryModel)(nil)

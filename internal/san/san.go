@@ -1,0 +1,535 @@
+// Package san implements Stochastic Activity Networks (SANs), the
+// formalism the paper uses for attack modeling (§II, "Attack Modeling";
+// the authors built their SCoPE case-study model "by means of the
+// stochastic activity networks (SAN) formalism").
+//
+// A SAN is a stochastic extension of Petri nets:
+//
+//   - places hold tokens; the vector of token counts is the marking;
+//   - activities (transitions) are timed (delay drawn from a distribution)
+//     or instantaneous;
+//   - input arcs and input gates control enabling: an activity is enabled
+//     when every input arc's place holds enough tokens and every input
+//     gate's predicate holds;
+//   - on completion an activity consumes its input arcs, executes its
+//     input-gate functions, selects one of its cases at random, then adds
+//     that case's output-arc tokens and executes its output gates;
+//   - reward variables accumulate functions of the marking over time.
+//
+// Timer semantics follow the Möbius default: a timed activity samples its
+// completion time when it becomes enabled and keeps it while it stays
+// continuously enabled; if a marking change disables it, the timer is
+// discarded. Setting Activity.Resample forces resampling on every marking
+// change (the ablation knob used by experiment E3).
+package san
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversify/internal/des"
+	"diversify/internal/rng"
+)
+
+// Common errors returned by model validation and execution.
+var (
+	ErrInvalidModel = errors.New("san: invalid model")
+	ErrLivelock     = errors.New("san: instantaneous activity livelock")
+)
+
+// PlaceID identifies a place within its model.
+type PlaceID int
+
+// Marking is the token count per place, indexed by PlaceID.
+type Marking []int
+
+// Clone returns an independent copy of the marking.
+func (m Marking) Clone() Marking { return append(Marking(nil), m...) }
+
+// Tokens returns the token count of place p.
+func (m Marking) Tokens(p PlaceID) int { return m[p] }
+
+// Arc connects an activity to a place with a token multiplicity.
+type Arc struct {
+	Place  PlaceID
+	Tokens int
+}
+
+// InputGate is a guard with an optional marking transformation executed
+// when the owning activity completes.
+type InputGate struct {
+	Name    string
+	Enabled func(m Marking) bool
+	Fn      func(m Marking) // optional; may be nil
+}
+
+// OutputGate transforms the marking when a case is selected.
+type OutputGate struct {
+	Name string
+	Fn   func(m Marking)
+}
+
+// Case is one probabilistic outcome of an activity. Prob values of an
+// activity's cases must sum to 1 (validated). WeightFn, when set,
+// overrides Prob with a marking-dependent unnormalized weight.
+type Case struct {
+	Name     string
+	Prob     float64
+	WeightFn func(m Marking) float64
+	Outputs  []Arc
+	Gates    []OutputGate
+}
+
+// Activity is a SAN activity (transition).
+type Activity struct {
+	name     string
+	timed    bool
+	dist     rng.Dist
+	resample bool
+	inputs   []Arc
+	gates    []InputGate
+	cases    []Case
+
+	model *Model
+	id    int
+}
+
+// Name returns the activity's name.
+func (a *Activity) Name() string { return a.name }
+
+// Timed reports whether the activity has a stochastic delay.
+func (a *Activity) Timed() bool { return a.timed }
+
+// SetResample makes the activity resample its firing time on every marking
+// change while enabled (instead of only when disabled). Used for semantics
+// ablation.
+func (a *Activity) SetResample(v bool) *Activity { a.resample = v; return a }
+
+// Input adds a plain input arc requiring (and consuming) tokens from p.
+func (a *Activity) Input(p PlaceID, tokens int) *Activity {
+	a.inputs = append(a.inputs, Arc{Place: p, Tokens: tokens})
+	return a
+}
+
+// Guard adds an input gate with only a predicate.
+func (a *Activity) Guard(name string, pred func(m Marking) bool) *Activity {
+	a.gates = append(a.gates, InputGate{Name: name, Enabled: pred})
+	return a
+}
+
+// GuardFn adds an input gate with a predicate and a completion function.
+func (a *Activity) GuardFn(name string, pred func(m Marking) bool, fn func(m Marking)) *Activity {
+	a.gates = append(a.gates, InputGate{Name: name, Enabled: pred, Fn: fn})
+	return a
+}
+
+// Case appends a probabilistic case. Use a single case with Prob 1 for
+// deterministic outcomes.
+func (a *Activity) Case(c Case) *Activity {
+	a.cases = append(a.cases, c)
+	return a
+}
+
+// Output is shorthand for a single certain case that deposits tokens into p.
+func (a *Activity) Output(p PlaceID, tokens int) *Activity {
+	if len(a.cases) == 0 {
+		a.cases = append(a.cases, Case{Name: "default", Prob: 1})
+	}
+	c := &a.cases[len(a.cases)-1]
+	c.Outputs = append(c.Outputs, Arc{Place: p, Tokens: tokens})
+	return a
+}
+
+// Model is a SAN definition: places, activities and an initial marking.
+// Build it with the fluent API, Validate it once, then execute it any
+// number of times with NewSim (each Sim owns an independent marking).
+type Model struct {
+	placeNames []string
+	initial    Marking
+	activities []*Activity
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// Place declares a place with an initial token count and returns its ID.
+func (m *Model) Place(name string, initialTokens int) PlaceID {
+	m.placeNames = append(m.placeNames, name)
+	m.initial = append(m.initial, initialTokens)
+	return PlaceID(len(m.placeNames) - 1)
+}
+
+// PlaceName returns the declared name of p.
+func (m *Model) PlaceName(p PlaceID) string { return m.placeNames[p] }
+
+// Places returns the number of places.
+func (m *Model) Places() int { return len(m.placeNames) }
+
+// Activities returns the model's activities in declaration order.
+func (m *Model) Activities() []*Activity { return m.activities }
+
+// TimedActivity declares an activity whose completion delay is drawn from
+// dist each time it becomes enabled.
+func (m *Model) TimedActivity(name string, dist rng.Dist) *Activity {
+	a := &Activity{name: name, timed: true, dist: dist, model: m, id: len(m.activities)}
+	m.activities = append(m.activities, a)
+	return a
+}
+
+// InstantActivity declares an activity that completes immediately upon
+// enabling (zero delay). Instantaneous activities fire in declaration
+// order when several are enabled at once.
+func (m *Model) InstantActivity(name string) *Activity {
+	a := &Activity{name: name, model: m, id: len(m.activities)}
+	m.activities = append(m.activities, a)
+	return a
+}
+
+// Validate checks structural well-formedness: arcs reference declared
+// places, every activity has at least one case, fixed case probabilities
+// sum to 1, timed activities have a distribution.
+func (m *Model) Validate() error {
+	checkArc := func(owner string, arc Arc) error {
+		if arc.Place < 0 || int(arc.Place) >= len(m.placeNames) {
+			return fmt.Errorf("%w: activity %q references unknown place %d", ErrInvalidModel, owner, arc.Place)
+		}
+		if arc.Tokens <= 0 {
+			return fmt.Errorf("%w: activity %q arc to %q has non-positive multiplicity %d",
+				ErrInvalidModel, owner, m.placeNames[arc.Place], arc.Tokens)
+		}
+		return nil
+	}
+	for _, a := range m.activities {
+		if a.timed && a.dist == nil {
+			return fmt.Errorf("%w: timed activity %q has no distribution", ErrInvalidModel, a.name)
+		}
+		if len(a.cases) == 0 {
+			return fmt.Errorf("%w: activity %q has no cases", ErrInvalidModel, a.name)
+		}
+		for _, arc := range a.inputs {
+			if err := checkArc(a.name, arc); err != nil {
+				return err
+			}
+		}
+		sum := 0.0
+		dynamic := false
+		for _, c := range a.cases {
+			if c.WeightFn != nil {
+				dynamic = true
+			}
+			sum += c.Prob
+			for _, arc := range c.Outputs {
+				if err := checkArc(a.name, arc); err != nil {
+					return err
+				}
+			}
+		}
+		if !dynamic && math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("%w: activity %q case probabilities sum to %v, want 1",
+				ErrInvalidModel, a.name, sum)
+		}
+	}
+	return nil
+}
+
+// enabled reports whether a may fire under marking mk.
+func (a *Activity) enabled(mk Marking) bool {
+	for _, arc := range a.inputs {
+		if mk[arc.Place] < arc.Tokens {
+			return false
+		}
+	}
+	for _, g := range a.gates {
+		if g.Enabled != nil && !g.Enabled(mk) {
+			return false
+		}
+	}
+	return true
+}
+
+// Firing records one activity completion in a trace.
+type Firing struct {
+	Time     float64
+	Activity string
+	Case     string
+}
+
+// Reward is a rate reward: a function of the marking whose time integral
+// and terminal value the simulator reports.
+type Reward struct {
+	Name string
+	Rate func(m Marking) float64
+}
+
+// RewardValue is the result of a reward variable after a run.
+type RewardValue struct {
+	Name     string
+	Integral float64 // ∫ rate(m(t)) dt over the run
+	Final    float64 // rate(m(T)) at the end of the run
+	TimeAvg  float64 // Integral / elapsed time (0 if no time elapsed)
+}
+
+// Sim executes one trajectory of a Model. Create one Sim per replication;
+// a Sim is single-goroutine only.
+type Sim struct {
+	model   *Model
+	marking Marking
+	eng     *des.Sim
+	r       *rng.Rand
+	timers  []*des.Event // per activity; nil when not scheduled
+	rewards []Reward
+	accum   []float64 // reward integrals
+	lastT   float64
+	trace   []Firing
+	keep    bool
+	maxInst int
+	err     error
+}
+
+// NewSim creates a simulator over model with the given RNG stream. The
+// model must have been validated; NewSim re-validates and returns the
+// error, if any.
+func NewSim(model *Model, r *rng.Rand) (*Sim, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		model:   model,
+		marking: model.initial.Clone(),
+		eng:     des.NewSim(),
+		r:       r,
+		timers:  make([]*des.Event, len(model.activities)),
+		maxInst: 10000,
+	}
+	return s, nil
+}
+
+// KeepTrace enables recording of every firing (off by default to keep
+// campaign memory bounded).
+func (s *Sim) KeepTrace() { s.keep = true }
+
+// Trace returns the recorded firings (empty unless KeepTrace was called).
+func (s *Sim) Trace() []Firing { return s.trace }
+
+// AddReward registers a rate reward before the run starts.
+func (s *Sim) AddReward(rw Reward) {
+	s.rewards = append(s.rewards, rw)
+	s.accum = append(s.accum, 0)
+}
+
+// Marking returns the live marking (do not mutate).
+func (s *Sim) Marking() Marking { return s.marking }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() float64 { return s.eng.Now() }
+
+// accumulate integrates rewards up to the current engine time.
+func (s *Sim) accumulate() {
+	now := s.eng.Now()
+	dt := now - s.lastT
+	if dt > 0 {
+		for i, rw := range s.rewards {
+			s.accum[i] += rw.Rate(s.marking) * dt
+		}
+	}
+	s.lastT = now
+}
+
+// fire completes activity a: consume inputs, run gate functions, select a
+// case, apply outputs.
+func (s *Sim) fire(a *Activity) {
+	s.accumulate()
+	for _, arc := range a.inputs {
+		s.marking[arc.Place] -= arc.Tokens
+		if s.marking[arc.Place] < 0 {
+			s.err = fmt.Errorf("%w: place %q went negative firing %q",
+				ErrInvalidModel, s.model.placeNames[arc.Place], a.name)
+			s.eng.Stop()
+			return
+		}
+	}
+	for _, g := range a.gates {
+		if g.Fn != nil {
+			g.Fn(s.marking)
+		}
+	}
+	c := s.selectCase(a)
+	for _, arc := range c.Outputs {
+		s.marking[arc.Place] += arc.Tokens
+	}
+	for _, og := range c.Gates {
+		if og.Fn != nil {
+			og.Fn(s.marking)
+		}
+	}
+	if s.keep {
+		s.trace = append(s.trace, Firing{Time: s.eng.Now(), Activity: a.name, Case: c.Name})
+	}
+}
+
+// selectCase picks a case according to fixed probabilities or dynamic
+// weights.
+func (s *Sim) selectCase(a *Activity) *Case {
+	if len(a.cases) == 1 {
+		return &a.cases[0]
+	}
+	dynamic := false
+	for i := range a.cases {
+		if a.cases[i].WeightFn != nil {
+			dynamic = true
+			break
+		}
+	}
+	if dynamic {
+		total := 0.0
+		weights := make([]float64, len(a.cases))
+		for i := range a.cases {
+			w := a.cases[i].Prob
+			if a.cases[i].WeightFn != nil {
+				w = a.cases[i].WeightFn(s.marking)
+			}
+			if w < 0 {
+				w = 0
+			}
+			weights[i] = w
+			total += w
+		}
+		if total <= 0 {
+			return &a.cases[0]
+		}
+		u := s.r.Float64() * total
+		for i, w := range weights {
+			u -= w
+			if u < 0 {
+				return &a.cases[i]
+			}
+		}
+		return &a.cases[len(a.cases)-1]
+	}
+	u := s.r.Float64()
+	for i := range a.cases {
+		u -= a.cases[i].Prob
+		if u < 0 {
+			return &a.cases[i]
+		}
+	}
+	return &a.cases[len(a.cases)-1]
+}
+
+// resync brings timers in line with the new marking: fires enabled
+// instantaneous activities to quiescence, cancels timers of disabled
+// activities, schedules timers for newly enabled ones.
+func (s *Sim) resync() {
+	// Drain instantaneous activities first (in declaration order).
+	for iter := 0; ; iter++ {
+		if iter > s.maxInst {
+			s.err = ErrLivelock
+			s.eng.Stop()
+			return
+		}
+		fired := false
+		for _, a := range s.model.activities {
+			if !a.timed && a.enabled(s.marking) {
+				s.fire(a)
+				if s.err != nil {
+					return
+				}
+				fired = true
+				break // marking changed; restart the scan
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	// Reconcile timed activity timers.
+	for _, a := range s.model.activities {
+		if !a.timed {
+			continue
+		}
+		timer := s.timers[a.id]
+		active := timer != nil && !timer.Cancelled()
+		en := a.enabled(s.marking)
+		switch {
+		case en && !active:
+			s.schedule(a)
+		case !en && active:
+			timer.Cancel()
+			s.timers[a.id] = nil
+		case en && active && a.resample:
+			timer.Cancel()
+			s.schedule(a)
+		}
+	}
+}
+
+// schedule samples a completion time for a and enqueues its firing.
+func (s *Sim) schedule(a *Activity) {
+	delay := a.dist.Sample(s.r)
+	if delay < 0 || math.IsNaN(delay) {
+		s.err = fmt.Errorf("%w: activity %q sampled invalid delay %v", ErrInvalidModel, a.name, delay)
+		s.eng.Stop()
+		return
+	}
+	act := a
+	s.timers[a.id] = s.eng.Schedule(delay, func() {
+		s.timers[act.id] = nil
+		// The event only exists while the activity was continuously
+		// enabled, so it may fire unconditionally.
+		s.fire(act)
+		if s.err == nil {
+			s.resync()
+		}
+	})
+}
+
+// Run executes the SAN until the horizon. Returns any execution error
+// (livelock, negative marking, invalid sample).
+func (s *Sim) Run(horizon float64) error {
+	s.resync()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.eng.Run(horizon); err != nil && !errors.Is(err, des.ErrStopped) {
+		return err
+	}
+	if s.err != nil {
+		return s.err
+	}
+	s.accumulate()
+	return nil
+}
+
+// RunUntil executes until pred(marking) holds or the horizon passes. It
+// returns whether the predicate was satisfied and the time at which it
+// first held.
+func (s *Sim) RunUntil(horizon float64, pred func(m Marking) bool) (bool, float64, error) {
+	s.resync()
+	if s.err != nil {
+		return false, 0, s.err
+	}
+	ok, err := s.eng.RunUntil(horizon, func() bool { return pred(s.marking) })
+	if err != nil && !errors.Is(err, des.ErrStopped) {
+		return false, 0, err
+	}
+	if s.err != nil {
+		return false, 0, s.err
+	}
+	s.accumulate()
+	return ok, s.eng.Now(), nil
+}
+
+// Rewards returns the reward variables' values for the run so far.
+func (s *Sim) Rewards() []RewardValue {
+	out := make([]RewardValue, len(s.rewards))
+	elapsed := s.eng.Now()
+	for i, rw := range s.rewards {
+		v := RewardValue{Name: rw.Name, Integral: s.accum[i], Final: rw.Rate(s.marking)}
+		if elapsed > 0 {
+			v.TimeAvg = s.accum[i] / elapsed
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package scada
+
+import "fmt"
+
+// ReplayDetector flags record/replay spoofing in supervisory data: a
+// Stuxnet-style spoofer feeds the HMI a recorded loop of sensor values,
+// which — unlike live measurements with sensor noise — repeats
+// bit-identically. The detector keeps a sliding window per signal and
+// raises when the window is fully explained by a cycle repeated at least
+// minCycles times.
+//
+// The defense assumes live signals carry measurement noise (NoiseSigma >
+// 0 in the sensor binding); a noise-free constant signal is
+// indistinguishable from a one-sample replay loop and will be flagged.
+type ReplayDetector struct {
+	window    int
+	minCycles int
+	buffers   map[string][]float64
+}
+
+// NewReplayDetector builds a detector. window is the number of
+// observations kept per signal; minCycles (>= 2) is how many full cycle
+// repetitions are required before flagging. It panics on nonsensical
+// parameters (construction bug).
+func NewReplayDetector(window, minCycles int) *ReplayDetector {
+	if window < 4 || minCycles < 2 || window < 2*minCycles {
+		panic(fmt.Sprintf("scada: invalid replay detector window=%d minCycles=%d", window, minCycles))
+	}
+	return &ReplayDetector{window: window, minCycles: minCycles, buffers: map[string][]float64{}}
+}
+
+// Observe records one supervisory sample for the signal and reports
+// whether the window now looks like a replayed loop.
+func (d *ReplayDetector) Observe(signal string, value float64) bool {
+	buf := append(d.buffers[signal], value)
+	if len(buf) > d.window {
+		buf = buf[len(buf)-d.window:]
+	}
+	d.buffers[signal] = buf
+	if len(buf) < d.window {
+		return false
+	}
+	maxPeriod := d.window / d.minCycles
+	for period := 1; period <= maxPeriod; period++ {
+		cyclic := true
+		for i := 0; i+period < len(buf); i++ {
+			if buf[i] != buf[i+period] {
+				cyclic = false
+				break
+			}
+		}
+		if cyclic {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears the history of one signal (e.g. after maintenance).
+func (d *ReplayDetector) Reset(signal string) {
+	delete(d.buffers, signal)
+}

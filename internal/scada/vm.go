@@ -1,0 +1,258 @@
+// Package scada implements the monitoring-and-control substrate itself: a
+// PLC with a small instruction-list logic VM and a Modbus-compatible
+// register file, sensor/actuator bindings onto a physical process, an HMI
+// with alarm supervision, and a historian — all driven by the
+// discrete-event core.
+//
+// The package also implements the two Stuxnet-style compromise hooks the
+// threat models need: logic injection (replacing a PLC's control program
+// with a malicious one) and sensor record/replay spoofing (feeding the
+// HMI stale values so alarms never fire — the paper's "fool the SCADA
+// system by emulating regular monitoring signals").
+package scada
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadProgram reports an invalid logic program.
+var ErrBadProgram = errors.New("scada: invalid program")
+
+// SrcKind selects where an operand value comes from.
+type SrcKind int
+
+// Operand sources.
+const (
+	SrcConst   SrcKind = iota + 1 // immediate constant
+	SrcInput                      // input register (sensor side), scaled
+	SrcHolding                    // holding register (setpoints/commands), scaled
+)
+
+// Operand is an instruction operand.
+type Operand struct {
+	Kind  SrcKind
+	Reg   int     // register address for SrcInput/SrcHolding
+	Const float64 // value for SrcConst
+}
+
+// Const returns an immediate operand.
+func Const(v float64) Operand { return Operand{Kind: SrcConst, Const: v} }
+
+// Input returns an input-register operand.
+func Input(reg int) Operand { return Operand{Kind: SrcInput, Reg: reg} }
+
+// Holding returns a holding-register operand.
+func Holding(reg int) Operand { return Operand{Kind: SrcHolding, Reg: reg} }
+
+// Op is a VM opcode.
+type Op int
+
+// Opcodes of the accumulator machine.
+const (
+	OpLoad    Op = iota + 1 // acc = operand
+	OpAdd                   // acc += operand
+	OpSub                   // acc -= operand
+	OpMul                   // acc *= operand
+	OpDiv                   // acc /= operand (0 divisor → acc = 0)
+	OpGt                    // acc = acc > operand ? 1 : 0
+	OpLt                    // acc = acc < operand ? 1 : 0
+	OpAnd                   // acc = (acc≠0 && operand≠0) ? 1 : 0
+	OpOr                    // acc = (acc≠0 || operand≠0) ? 1 : 0
+	OpNot                   // acc = acc≠0 ? 0 : 1 (operand unused)
+	OpMin                   // acc = min(acc, operand)
+	OpMax                   // acc = max(acc, operand)
+	OpClamp01               // acc = min(1, max(0, acc)) (operand unused)
+	OpStoreH                // holding[Reg] = acc (scaled)
+	OpStoreC                // coil[Reg] = acc ≠ 0
+)
+
+// Instr is one VM instruction. Store instructions use Target; arithmetic
+// and logic use Arg.
+type Instr struct {
+	Op     Op
+	Arg    Operand
+	Target int // register/coil address for stores
+}
+
+// Program is a PLC logic program: a straight-line instruction list
+// executed once per scan cycle.
+type Program []Instr
+
+// Validate checks that register references are within the given bank
+// sizes.
+func (p Program) Validate(holdingN, inputN, coilN int) error {
+	checkOperand := func(i int, o Operand) error {
+		switch o.Kind {
+		case SrcConst:
+			return nil
+		case SrcInput:
+			if o.Reg < 0 || o.Reg >= inputN {
+				return fmt.Errorf("%w: instr %d reads input register %d (bank size %d)", ErrBadProgram, i, o.Reg, inputN)
+			}
+		case SrcHolding:
+			if o.Reg < 0 || o.Reg >= holdingN {
+				return fmt.Errorf("%w: instr %d reads holding register %d (bank size %d)", ErrBadProgram, i, o.Reg, holdingN)
+			}
+		default:
+			return fmt.Errorf("%w: instr %d has unknown operand kind %d", ErrBadProgram, i, o.Kind)
+		}
+		return nil
+	}
+	for i, in := range p {
+		switch in.Op {
+		case OpLoad, OpAdd, OpSub, OpMul, OpDiv, OpGt, OpLt, OpAnd, OpOr, OpMin, OpMax:
+			if err := checkOperand(i, in.Arg); err != nil {
+				return err
+			}
+		case OpNot, OpClamp01:
+			// no operand
+		case OpStoreH:
+			if in.Target < 0 || in.Target >= holdingN {
+				return fmt.Errorf("%w: instr %d stores to holding %d (bank size %d)", ErrBadProgram, i, in.Target, holdingN)
+			}
+		case OpStoreC:
+			if in.Target < 0 || in.Target >= coilN {
+				return fmt.Errorf("%w: instr %d stores to coil %d (bank size %d)", ErrBadProgram, i, in.Target, coilN)
+			}
+		default:
+			return fmt.Errorf("%w: instr %d has unknown opcode %d", ErrBadProgram, i, in.Op)
+		}
+	}
+	return nil
+}
+
+// regFile abstracts the register access the VM needs; *PLC implements it
+// over its Modbus memory model with fixed-point scaling.
+type regFile interface {
+	loadInput(reg int) float64
+	loadHolding(reg int) float64
+	storeHolding(reg int, v float64)
+	storeCoil(reg int, on bool)
+}
+
+// run executes the program once against the register file.
+func (p Program) run(rf regFile) {
+	acc := 0.0
+	operand := func(o Operand) float64 {
+		switch o.Kind {
+		case SrcConst:
+			return o.Const
+		case SrcInput:
+			return rf.loadInput(o.Reg)
+		case SrcHolding:
+			return rf.loadHolding(o.Reg)
+		default:
+			return 0
+		}
+	}
+	for _, in := range p {
+		switch in.Op {
+		case OpLoad:
+			acc = operand(in.Arg)
+		case OpAdd:
+			acc += operand(in.Arg)
+		case OpSub:
+			acc -= operand(in.Arg)
+		case OpMul:
+			acc *= operand(in.Arg)
+		case OpDiv:
+			d := operand(in.Arg)
+			if d == 0 {
+				acc = 0
+			} else {
+				acc /= d
+			}
+		case OpGt:
+			if acc > operand(in.Arg) {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		case OpLt:
+			if acc < operand(in.Arg) {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		case OpAnd:
+			if acc != 0 && operand(in.Arg) != 0 {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		case OpOr:
+			if acc != 0 || operand(in.Arg) != 0 {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		case OpNot:
+			if acc != 0 {
+				acc = 0
+			} else {
+				acc = 1
+			}
+		case OpMin:
+			acc = math.Min(acc, operand(in.Arg))
+		case OpMax:
+			acc = math.Max(acc, operand(in.Arg))
+		case OpClamp01:
+			acc = math.Min(1, math.Max(0, acc))
+		case OpStoreH:
+			rf.storeHolding(in.Target, acc)
+		case OpStoreC:
+			rf.storeCoil(in.Target, acc != 0)
+		}
+	}
+}
+
+// ProportionalCooling builds the reference cooling-control program:
+//
+//	cmd = clamp01(gain · (T − setpoint))  stored per zone
+//
+// tempReg/setpointReg/cmdReg give the per-zone register triples.
+func ProportionalCooling(tempReg, setpointReg, cmdReg []int, gain float64) Program {
+	var p Program
+	for i := range tempReg {
+		p = append(p,
+			Instr{Op: OpLoad, Arg: Input(tempReg[i])},
+			Instr{Op: OpSub, Arg: Holding(setpointReg[i])},
+			Instr{Op: OpMul, Arg: Const(gain)},
+			Instr{Op: OpClamp01},
+			Instr{Op: OpStoreH, Target: cmdReg[i]},
+		)
+	}
+	return p
+}
+
+// ConstantOutput builds a malicious "impairment" program that ignores all
+// sensors and forces fixed values into the given holding registers — the
+// PLC payload shape of a Stuxnet-style attack (e.g. cooling command 0, or
+// centrifuge setpoint 1410 Hz).
+func ConstantOutput(cmdReg []int, value float64) Program {
+	var p Program
+	for _, reg := range cmdReg {
+		p = append(p,
+			Instr{Op: OpLoad, Arg: Const(value)},
+			Instr{Op: OpStoreH, Target: reg},
+		)
+	}
+	return p
+}
+
+// SpeedControl builds a centrifuge speed-setpoint pass-through program:
+// each unit's commanded speed (holding) is copied to the drive command
+// register, bounded by a safety limit the legitimate logic enforces.
+func SpeedControl(setpointReg, cmdReg []int, maxHz float64) Program {
+	var p Program
+	for i := range setpointReg {
+		p = append(p,
+			Instr{Op: OpLoad, Arg: Holding(setpointReg[i])},
+			Instr{Op: OpMin, Arg: Const(maxHz)},
+			Instr{Op: OpStoreH, Target: cmdReg[i]},
+		)
+	}
+	return p
+}

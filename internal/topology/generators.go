@@ -1,0 +1,237 @@
+package topology
+
+import (
+	"fmt"
+
+	"diversify/internal/exploits"
+)
+
+// TieredSCADASpec parameterizes the standard three-zone SCADA reference
+// topology used throughout the experiments.
+type TieredSCADASpec struct {
+	CorporatePCs   int // PCs in the corporate zone (USB-exposed entry points)
+	HMIs           int // operator stations in the control zone
+	EngStations    int // engineering workstations (PLC programming)
+	PLCs           int // field controllers
+	SensorsPerPLC  int
+	ActuatorPerPLC int
+	// Default component variants; the diversity layer overrides these.
+	DefaultOS       exploits.VariantID
+	DefaultFirewall exploits.VariantID
+	DefaultPLC      exploits.VariantID
+	DefaultHMI      exploits.VariantID
+	DefaultEng      exploits.VariantID
+	DefaultProtocol exploits.VariantID
+}
+
+// DefaultTieredSpec returns the reference parameterization: a small plant
+// with a Stuxnet-friendly monoculture (XP + WinCC + STEP7 + S7 PLCs +
+// standard Modbus), matching the paper's premise that homogeneous systems
+// are one-exploit-away from compromise.
+func DefaultTieredSpec() TieredSCADASpec {
+	return TieredSCADASpec{
+		CorporatePCs:    4,
+		HMIs:            2,
+		EngStations:     2,
+		PLCs:            4,
+		SensorsPerPLC:   2,
+		ActuatorPerPLC:  1,
+		DefaultOS:       exploits.OSWinXPSP3,
+		DefaultFirewall: exploits.FWBasic,
+		DefaultPLC:      exploits.PLCS7_315,
+		DefaultHMI:      exploits.HMIWinCC,
+		DefaultEng:      exploits.EngStep7,
+		DefaultProtocol: exploits.ProtoModbusStd,
+	}
+}
+
+// NewTieredSCADA builds the three-zone topology:
+//
+//	corporate zone: CorporatePCs on a LAN, plus sneakernet edges into the
+//	  control zone (removable media crossing the air gap);
+//	control zone: HMIs, engineering stations and a historian on a control
+//	  LAN, linked to the corporate LAN through a firewall;
+//	field zone: PLCs on a fieldbus reachable from the control LAN, each
+//	  PLC wired to its sensors and actuators over serial links.
+func NewTieredSCADA(spec TieredSCADASpec) *Topology {
+	t := New()
+	comp := func(os exploits.VariantID, extra map[exploits.Class]exploits.VariantID) map[exploits.Class]exploits.VariantID {
+		m := map[exploits.Class]exploits.VariantID{exploits.ClassOS: os}
+		for k, v := range extra {
+			m[k] = v
+		}
+		return m
+	}
+
+	var corpPCs []NodeID
+	for i := 0; i < spec.CorporatePCs; i++ {
+		corpPCs = append(corpPCs, t.AddNode(fmt.Sprintf("corp-pc-%d", i), KindCorporatePC, ZoneCorporate,
+			comp(spec.DefaultOS, nil)))
+	}
+	for i := 1; i < len(corpPCs); i++ {
+		t.Connect(corpPCs[0], corpPCs[i], MediumLAN, "")
+	}
+	for i := 1; i < len(corpPCs)-1; i++ {
+		t.Connect(corpPCs[i], corpPCs[i+1], MediumLAN, "")
+	}
+
+	var hmis []NodeID
+	for i := 0; i < spec.HMIs; i++ {
+		hmis = append(hmis, t.AddNode(fmt.Sprintf("hmi-%d", i), KindHMI, ZoneControl,
+			comp(spec.DefaultOS, map[exploits.Class]exploits.VariantID{
+				exploits.ClassHMISoftware: spec.DefaultHMI,
+				exploits.ClassProtocol:    spec.DefaultProtocol,
+			})))
+	}
+	var engs []NodeID
+	for i := 0; i < spec.EngStations; i++ {
+		engs = append(engs, t.AddNode(fmt.Sprintf("eng-%d", i), KindEngWorkstation, ZoneControl,
+			comp(spec.DefaultOS, map[exploits.Class]exploits.VariantID{
+				exploits.ClassEngTools: spec.DefaultEng,
+				exploits.ClassProtocol: spec.DefaultProtocol,
+			})))
+	}
+	historian := t.AddNode("historian", KindHistorian, ZoneControl,
+		comp(spec.DefaultOS, map[exploits.Class]exploits.VariantID{
+			exploits.ClassHistorian: spec.DefaultHMI,
+		}))
+
+	// Control LAN is a star around the historian (a common pattern: the
+	// historian talks to everything).
+	controlNodes := append(append([]NodeID{}, hmis...), engs...)
+	for _, n := range controlNodes {
+		t.Connect(historian, n, MediumLAN, "")
+	}
+	// HMIs also talk to engineering stations directly.
+	for _, h := range hmis {
+		for _, e := range engs {
+			t.Connect(h, e, MediumLAN, "")
+		}
+	}
+
+	// Corporate ↔ control through a firewall-filtered LAN link, plus
+	// sneakernet edges (contractor USB sticks) from each corporate PC to
+	// each engineering station: the Stuxnet entry route.
+	if len(corpPCs) > 0 {
+		t.Connect(corpPCs[0], historian, MediumLAN, spec.DefaultFirewall)
+		for _, c := range corpPCs {
+			for _, e := range engs {
+				t.Connect(c, e, MediumSneakernet, "")
+			}
+		}
+	}
+
+	// Field zone.
+	for i := 0; i < spec.PLCs; i++ {
+		plc := t.AddNode(fmt.Sprintf("plc-%d", i), KindPLC, ZoneField,
+			map[exploits.Class]exploits.VariantID{
+				exploits.ClassPLCFirmware: spec.DefaultPLC,
+				exploits.ClassProtocol:    spec.DefaultProtocol,
+			})
+		// Every engineering station and HMI can reach every PLC over the
+		// fieldbus (flat field network, worst practice but common).
+		for _, e := range engs {
+			t.Connect(e, plc, MediumFieldbus, "")
+		}
+		for _, h := range hmis {
+			t.Connect(h, plc, MediumFieldbus, "")
+		}
+		for s := 0; s < spec.SensorsPerPLC; s++ {
+			sensor := t.AddNode(fmt.Sprintf("plc-%d-sensor-%d", i, s), KindSensor, ZoneField, nil)
+			t.Connect(plc, sensor, MediumSerial, "")
+		}
+		for a := 0; a < spec.ActuatorPerPLC; a++ {
+			act := t.AddNode(fmt.Sprintf("plc-%d-actuator-%d", i, a), KindActuator, ZoneField, nil)
+			t.Connect(plc, act, MediumSerial, "")
+		}
+	}
+	return t
+}
+
+// PowerGridSpec parameterizes a transmission-grid monitoring topology: a
+// control center plus N substations, each with an RTU-style PLC and its
+// instrumentation.
+type PowerGridSpec struct {
+	Substations     int
+	FeedersPerSub   int
+	DefaultOS       exploits.VariantID
+	DefaultFirewall exploits.VariantID
+	DefaultPLC      exploits.VariantID
+	DefaultProtocol exploits.VariantID
+}
+
+// DefaultPowerGridSpec returns a 6-substation reference grid.
+func DefaultPowerGridSpec() PowerGridSpec {
+	return PowerGridSpec{
+		Substations:     6,
+		FeedersPerSub:   2,
+		DefaultOS:       exploits.OSWin7,
+		DefaultFirewall: exploits.FWDPI,
+		DefaultPLC:      exploits.PLCModicon,
+		DefaultProtocol: exploits.ProtoModbusStd,
+	}
+}
+
+// NewPowerGrid builds the control-center + substations topology. A small
+// corporate office (two PCs with a firewalled link into the control
+// center and removable-media movement to the engineering station) is the
+// attacker's entry; the control center hosts two HMIs, a historian and
+// an engineering station; each substation hosts a gateway (firewalled
+// WAN link), a PLC/RTU and FeedersPerSub sensor/actuator pairs;
+// substation gateways are chained to their neighbor to model
+// inter-substation links.
+func NewPowerGrid(spec PowerGridSpec) *Topology {
+	t := New()
+	os := func(extra map[exploits.Class]exploits.VariantID) map[exploits.Class]exploits.VariantID {
+		m := map[exploits.Class]exploits.VariantID{exploits.ClassOS: spec.DefaultOS}
+		for k, v := range extra {
+			m[k] = v
+		}
+		return m
+	}
+	corp0 := t.AddNode("office-pc-0", KindCorporatePC, ZoneCorporate, os(nil))
+	corp1 := t.AddNode("office-pc-1", KindCorporatePC, ZoneCorporate, os(nil))
+	t.Connect(corp0, corp1, MediumLAN, "")
+	hmi1 := t.AddNode("cc-hmi-0", KindHMI, ZoneControl, os(map[exploits.Class]exploits.VariantID{
+		exploits.ClassHMISoftware: exploits.HMIWonderware,
+		exploits.ClassProtocol:    spec.DefaultProtocol,
+	}))
+	hmi2 := t.AddNode("cc-hmi-1", KindHMI, ZoneControl, os(map[exploits.Class]exploits.VariantID{
+		exploits.ClassHMISoftware: exploits.HMIWonderware,
+		exploits.ClassProtocol:    spec.DefaultProtocol,
+	}))
+	hist := t.AddNode("cc-historian", KindHistorian, ZoneControl, os(nil))
+	eng := t.AddNode("cc-eng", KindEngWorkstation, ZoneControl, os(map[exploits.Class]exploits.VariantID{
+		exploits.ClassEngTools: exploits.EngUnityPro,
+	}))
+	t.Connect(hmi1, hist, MediumLAN, "")
+	t.Connect(hmi2, hist, MediumLAN, "")
+	t.Connect(eng, hist, MediumLAN, "")
+	t.Connect(hmi1, hmi2, MediumLAN, "")
+	t.Connect(corp0, hist, MediumLAN, spec.DefaultFirewall)
+	t.Connect(corp0, eng, MediumSneakernet, "")
+	t.Connect(corp1, eng, MediumSneakernet, "")
+
+	var gateways []NodeID
+	for i := 0; i < spec.Substations; i++ {
+		gw := t.AddNode(fmt.Sprintf("sub-%d-gw", i), KindGateway, ZoneField, os(nil))
+		gateways = append(gateways, gw)
+		t.Connect(hist, gw, MediumLAN, spec.DefaultFirewall)
+		plc := t.AddNode(fmt.Sprintf("sub-%d-rtu", i), KindPLC, ZoneField,
+			map[exploits.Class]exploits.VariantID{
+				exploits.ClassPLCFirmware: spec.DefaultPLC,
+				exploits.ClassProtocol:    spec.DefaultProtocol,
+			})
+		t.Connect(gw, plc, MediumFieldbus, "")
+		for f := 0; f < spec.FeedersPerSub; f++ {
+			sen := t.AddNode(fmt.Sprintf("sub-%d-ct-%d", i, f), KindSensor, ZoneField, nil)
+			act := t.AddNode(fmt.Sprintf("sub-%d-breaker-%d", i, f), KindActuator, ZoneField, nil)
+			t.Connect(plc, sen, MediumSerial, "")
+			t.Connect(plc, act, MediumSerial, "")
+		}
+	}
+	for i := 1; i < len(gateways); i++ {
+		t.Connect(gateways[i-1], gateways[i], MediumLAN, "")
+	}
+	return t
+}

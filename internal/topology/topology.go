@@ -1,0 +1,440 @@
+// Package topology models the structure of a monitoring-and-control
+// system: nodes (HMIs, engineering workstations, historians, PLCs,
+// sensors, actuators), the zones they live in (corporate, control, field,
+// safety), and the links a threat can propagate over (LAN, fieldbus,
+// serial, sneakernet).
+//
+// Beyond bookkeeping it provides the graph analyses the framework's
+// "strategic placement" policy relies on: BFS reachability per vector,
+// shortest attack paths, and articulation-point computation (the cut
+// nodes whose hardening disconnects attack paths — the concrete meaning
+// of the paper's "small, strategically distributed, number of highly
+// attack-resilient components").
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"diversify/internal/exploits"
+)
+
+// ErrUnknownNode reports a reference to an undeclared node.
+var ErrUnknownNode = errors.New("topology: unknown node")
+
+// NodeID identifies a node within its topology.
+type NodeID int
+
+// Kind is a node's functional role.
+type Kind int
+
+// Node kinds found in a SCADA/monitoring system.
+const (
+	KindHMI Kind = iota + 1
+	KindEngWorkstation
+	KindHistorian
+	KindPLC
+	KindSensor
+	KindActuator
+	KindFirewall
+	KindGateway
+	KindCorporatePC
+)
+
+var kindNames = map[Kind]string{
+	KindHMI:            "HMI",
+	KindEngWorkstation: "EngWorkstation",
+	KindHistorian:      "Historian",
+	KindPLC:            "PLC",
+	KindSensor:         "Sensor",
+	KindActuator:       "Actuator",
+	KindFirewall:       "Firewall",
+	KindGateway:        "Gateway",
+	KindCorporatePC:    "CorporatePC",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Zone is a network segment with a common trust level.
+type Zone int
+
+// Standard zones, outermost first.
+const (
+	ZoneCorporate Zone = iota + 1
+	ZoneControl
+	ZoneField
+	ZoneSafety
+)
+
+var zoneNames = map[Zone]string{
+	ZoneCorporate: "corporate",
+	ZoneControl:   "control",
+	ZoneField:     "field",
+	ZoneSafety:    "safety",
+}
+
+func (z Zone) String() string {
+	if s, ok := zoneNames[z]; ok {
+		return s
+	}
+	return fmt.Sprintf("Zone(%d)", int(z))
+}
+
+// Medium is a link's physical/logical transport.
+type Medium int
+
+// Link media. Sneakernet models removable-media movement between nodes
+// (Stuxnet's USB vector); it is traversable only by VectorUSB.
+const (
+	MediumLAN Medium = iota + 1
+	MediumFieldbus
+	MediumSerial
+	MediumSneakernet
+)
+
+var mediumNames = map[Medium]string{
+	MediumLAN:        "lan",
+	MediumFieldbus:   "fieldbus",
+	MediumSerial:     "serial",
+	MediumSneakernet: "sneakernet",
+}
+
+func (m Medium) String() string {
+	if s, ok := mediumNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Medium(%d)", int(m))
+}
+
+// Carries reports whether a link medium can carry an attack with the given
+// vector: remote and adjacent exploits need a network medium; USB needs a
+// sneakernet edge. Local vectors never traverse links.
+func (m Medium) Carries(v exploits.Vector) bool {
+	switch v {
+	case exploits.VectorRemote, exploits.VectorAdjacent:
+		return m == MediumLAN || m == MediumFieldbus || m == MediumSerial
+	case exploits.VectorUSB:
+		return m == MediumSneakernet
+	default:
+		return false
+	}
+}
+
+// Node is one system element. Components maps each diversifiable class to
+// the concrete variant installed (the diversity configuration overlays
+// these defaults).
+type Node struct {
+	ID         NodeID
+	Name       string
+	Kind       Kind
+	Zone       Zone
+	Components map[exploits.Class]exploits.VariantID
+}
+
+// Link is an undirected edge. Firewalled links carry the variant of the
+// filtering device; an empty VariantID means unfiltered.
+type Link struct {
+	A, B     NodeID
+	Medium   Medium
+	Firewall exploits.VariantID
+}
+
+// Topology is the system graph. Build with AddNode/Connect; the structure
+// is append-only (diversity experiments overlay component assignments
+// rather than mutating the graph).
+type Topology struct {
+	nodes []Node
+	links []Link
+	adj   map[NodeID][]int // node → indices into links
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{adj: map[NodeID][]int{}}
+}
+
+// AddNode declares a node and returns its ID. The components map is
+// copied.
+func (t *Topology) AddNode(name string, kind Kind, zone Zone, components map[exploits.Class]exploits.VariantID) NodeID {
+	id := NodeID(len(t.nodes))
+	comp := make(map[exploits.Class]exploits.VariantID, len(components))
+	for k, v := range components {
+		comp[k] = v
+	}
+	t.nodes = append(t.nodes, Node{ID: id, Name: name, Kind: kind, Zone: zone, Components: comp})
+	return id
+}
+
+// Connect adds an undirected link. It panics on unknown endpoints
+// (construction bug).
+func (t *Topology) Connect(a, b NodeID, medium Medium, firewall exploits.VariantID) {
+	if int(a) >= len(t.nodes) || int(b) >= len(t.nodes) || a < 0 || b < 0 {
+		panic(fmt.Sprintf("topology: connect references unknown node (%d,%d)", a, b))
+	}
+	if a == b {
+		panic("topology: self-link")
+	}
+	idx := len(t.links)
+	t.links = append(t.links, Link{A: a, B: b, Medium: medium, Firewall: firewall})
+	t.adj[a] = append(t.adj[a], idx)
+	t.adj[b] = append(t.adj[b], idx)
+}
+
+// Len returns the number of nodes.
+func (t *Topology) Len() int { return len(t.nodes) }
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id NodeID) (Node, error) {
+	if int(id) < 0 || int(id) >= len(t.nodes) {
+		return Node{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return t.nodes[id], nil
+}
+
+// Nodes returns all nodes in ID order. The slice is shared; treat as
+// read-only.
+func (t *Topology) Nodes() []Node { return t.nodes }
+
+// Links returns all links. The slice is shared; treat as read-only.
+func (t *Topology) Links() []Link { return t.links }
+
+// NodesOfKind returns the IDs of all nodes with the given kind, ascending.
+func (t *Topology) NodesOfKind(kind Kind) []NodeID {
+	var out []NodeID
+	for _, n := range t.nodes {
+		if n.Kind == kind {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Neighbor is one hop reachable from a node.
+type Neighbor struct {
+	Node     NodeID
+	Medium   Medium
+	Firewall exploits.VariantID
+}
+
+// Neighbors lists nodes adjacent to id over any medium.
+func (t *Topology) Neighbors(id NodeID) []Neighbor {
+	var out []Neighbor
+	for _, li := range t.adj[id] {
+		l := t.links[li]
+		other := l.A
+		if other == id {
+			other = l.B
+		}
+		out = append(out, Neighbor{Node: other, Medium: l.Medium, Firewall: l.Firewall})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// NeighborsByVector lists neighbors reachable with an attack of the given
+// vector (media filtering only; firewall effects are probabilistic and
+// belong to the threat model).
+func (t *Topology) NeighborsByVector(id NodeID, v exploits.Vector) []Neighbor {
+	all := t.Neighbors(id)
+	out := all[:0:0]
+	for _, n := range all {
+		if n.Medium.Carries(v) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ShortestPath returns a minimum-hop path from src to dst over links that
+// carry any of the given vectors (or any medium when vectors is empty).
+// It returns nil when no path exists.
+func (t *Topology) ShortestPath(src, dst NodeID, vectors ...exploits.Vector) []NodeID {
+	if int(src) >= len(t.nodes) || int(dst) >= len(t.nodes) {
+		return nil
+	}
+	if src == dst {
+		return []NodeID{src}
+	}
+	usable := func(m Medium) bool {
+		if len(vectors) == 0 {
+			return true
+		}
+		for _, v := range vectors {
+			if m.Carries(v) {
+				return true
+			}
+		}
+		return false
+	}
+	prev := make([]NodeID, len(t.nodes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, li := range t.adj[cur] {
+			l := t.links[li]
+			if !usable(l.Medium) {
+				continue
+			}
+			next := l.A
+			if next == cur {
+				next = l.B
+			}
+			if prev[next] != -1 {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				var path []NodeID
+				for n := dst; ; n = prev[n] {
+					path = append(path, n)
+					if n == src {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// Reachable reports whether dst can be reached from src over links
+// carrying any of the vectors.
+func (t *Topology) Reachable(src, dst NodeID, vectors ...exploits.Vector) bool {
+	return t.ShortestPath(src, dst, vectors...) != nil
+}
+
+// ArticulationPoints returns the cut vertices of the graph (considering
+// every medium), sorted ascending. Hardening these nodes is the
+// "strategic" placement policy: they sit on every path between the parts
+// they separate.
+func (t *Topology) ArticulationPoints() []NodeID {
+	n := len(t.nodes)
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+	var dfs func(u int)
+	dfs = func(u int) {
+		disc[u] = timer
+		low[u] = timer
+		timer++
+		children := 0
+		for _, li := range t.adj[NodeID(u)] {
+			l := t.links[li]
+			v := int(l.A)
+			if v == u {
+				v = int(l.B)
+			}
+			if disc[v] == -1 {
+				children++
+				parent[v] = u
+				dfs(v)
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+				if parent[u] != -1 && low[v] >= disc[u] {
+					isCut[u] = true
+				}
+			} else if v != parent[u] && disc[v] < low[u] {
+				low[u] = disc[v]
+			}
+		}
+		if parent[u] == -1 && children > 1 {
+			isCut[u] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if disc[i] == -1 {
+			dfs(i)
+		}
+	}
+	var out []NodeID
+	for i, c := range isCut {
+		if c {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// OnPathScores counts, for every node, how many (entry, target) pairs
+// have SOME minimum-hop path through it (excluding endpoints): node v is
+// on a shortest e→t path iff dist(e,v) + dist(v,t) = dist(e,t). Counting
+// membership in any shortest path (not one arbitrary path) matters when
+// parallel equal-cost routes exist — all of them carry attack traffic.
+func (t *Topology) OnPathScores(entries, targets []NodeID) map[NodeID]int {
+	scores := map[NodeID]int{}
+	distFrom := func(src NodeID) []int {
+		dist := make([]int, len(t.nodes))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, li := range t.adj[cur] {
+				l := t.links[li]
+				next := l.A
+				if next == cur {
+					next = l.B
+				}
+				if dist[next] == -1 {
+					dist[next] = dist[cur] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		return dist
+	}
+	entryDist := make(map[NodeID][]int, len(entries))
+	for _, e := range entries {
+		entryDist[e] = distFrom(e)
+	}
+	targetDist := make(map[NodeID][]int, len(targets))
+	for _, tgt := range targets {
+		targetDist[tgt] = distFrom(tgt)
+	}
+	for _, e := range entries {
+		de := entryDist[e]
+		for _, tgt := range targets {
+			dt := targetDist[tgt]
+			if de[tgt] < 0 {
+				continue // unreachable pair
+			}
+			total := de[tgt]
+			for v := range t.nodes {
+				id := NodeID(v)
+				if id == e || id == tgt {
+					continue
+				}
+				if de[v] >= 0 && dt[v] >= 0 && de[v]+dt[v] == total {
+					scores[id]++
+				}
+			}
+		}
+	}
+	return scores
+}
