@@ -1,0 +1,3 @@
+module diversify
+
+go 1.24

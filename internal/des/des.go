@@ -39,8 +39,13 @@ type Event struct {
 func (e *Event) Time() float64 { return e.time }
 
 // Cancel removes the event from the pending set. Cancelling an event that
-// already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// already fired or was already cancelled is a no-op. The callback is
+// released immediately so a cancelled event pinned by the allocation
+// arena does not keep its closure alive.
+func (e *Event) Cancel() {
+	e.cancelled = true
+	e.fn = nil
+}
 
 // Cancelled reports whether the event has been cancelled.
 func (e *Event) Cancelled() bool { return e.cancelled }
@@ -82,6 +87,26 @@ type Sim struct {
 	pending eventHeap
 	stopped bool
 	fired   uint64
+	// arena batches Event allocations: each slot is handed out exactly
+	// once, so event handles keep their documented semantics (a fired or
+	// cancelled event stays inert) while Schedule costs one heap
+	// allocation per eventArenaSize events instead of one per event.
+	arena []Event
+}
+
+// eventArenaSize is the Event allocation batch; campaigns fire thousands
+// of events, so batching removes ~all per-event allocations without
+// holding meaningfully more memory for short simulations.
+const eventArenaSize = 128
+
+// newEvent hands out the next arena slot.
+func (s *Sim) newEvent() *Event {
+	if len(s.arena) == 0 {
+		s.arena = make([]Event, eventArenaSize)
+	}
+	e := &s.arena[0]
+	s.arena = s.arena[1:]
+	return e
 }
 
 // NewSim returns a simulator with the clock at zero.
@@ -119,7 +144,8 @@ func (s *Sim) ScheduleAt(t float64, fn func()) *Event {
 	if t < s.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", t, s.now))
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	e := s.newEvent()
+	*e = Event{time: t, seq: s.seq, fn: fn, index: -1}
 	s.seq++
 	heap.Push(&s.pending, e)
 	return e
@@ -138,7 +164,9 @@ func (s *Sim) Step() bool {
 		}
 		s.now = e.time
 		s.fired++
-		e.fn()
+		fn := e.fn
+		e.fn = nil // release the closure; fired events are inert
+		fn()
 		return true
 	}
 	return false

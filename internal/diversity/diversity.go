@@ -7,10 +7,11 @@
 package diversity
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"diversify/internal/exploits"
 	"diversify/internal/rng"
@@ -216,7 +217,7 @@ func PlaceRandom(t *topology.Topology, a *Assignment, c exploits.Class,
 		a.Set(id, c, resilient)
 		chosen = append(chosen, id)
 	}
-	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+	slices.Sort(chosen)
 	return chosen
 }
 
@@ -250,11 +251,11 @@ func PlaceStrategic(t *topology.Topology, a *Assignment, c exploits.Class,
 		}
 		candidates = append(candidates, scored{id: n.ID, score: s})
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].score != candidates[j].score {
-			return candidates[i].score > candidates[j].score
+	slices.SortFunc(candidates, func(a, b scored) int {
+		if c := cmp.Compare(b.score, a.score); c != 0 {
+			return c
 		}
-		return candidates[i].id < candidates[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	if k > len(candidates) {
 		k = len(candidates)
@@ -264,7 +265,7 @@ func PlaceStrategic(t *topology.Topology, a *Assignment, c exploits.Class,
 		a.Set(candidates[i].id, c, resilient)
 		chosen = append(chosen, candidates[i].id)
 	}
-	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+	slices.Sort(chosen)
 	return chosen
 }
 
@@ -296,11 +297,11 @@ func PlaceWorst(t *topology.Topology, a *Assignment, c exploits.Class,
 		}
 		candidates = append(candidates, scored{id: n.ID, score: s})
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].score != candidates[j].score {
-			return candidates[i].score < candidates[j].score
+	slices.SortFunc(candidates, func(a, b scored) int {
+		if c := cmp.Compare(a.score, b.score); c != 0 {
+			return c
 		}
-		return candidates[i].id < candidates[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	if k > len(candidates) {
 		k = len(candidates)
@@ -310,7 +311,7 @@ func PlaceWorst(t *topology.Topology, a *Assignment, c exploits.Class,
 		a.Set(candidates[i].id, c, resilient)
 		chosen = append(chosen, candidates[i].id)
 	}
-	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+	slices.Sort(chosen)
 	return chosen
 }
 
@@ -331,11 +332,11 @@ func SpreadVariants(t *topology.Topology, a *Assignment, cat *exploits.Catalog,
 	// Prefer the least resilient k variants so the effect measured is
 	// diversity itself, not hardening: sort by resilience ascending, then
 	// ID for determinism.
-	sort.Slice(variants, func(i, j int) bool {
-		if variants[i].Resilience != variants[j].Resilience {
-			return variants[i].Resilience < variants[j].Resilience
+	slices.SortFunc(variants, func(a, b exploits.Variant) int {
+		if c := cmp.Compare(a.Resilience, b.Resilience); c != 0 {
+			return c
 		}
-		return variants[i].ID < variants[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	idx := 0
 	for _, n := range t.Nodes() {

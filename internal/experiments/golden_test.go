@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the golden files from the current implementation.
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCases pins the seeded table output of the Monte-Carlo experiments
+// that exercise the propagation hot path. The goldens were captured before
+// the sealed-CSR topology rewrite; any change to iteration order, RNG draw
+// sequence or formatting shows up as a byte diff.
+var goldenCases = []struct {
+	name string
+	run  Runner
+	opts Opts
+}{
+	{"E2", E2TimeToAttack, Opts{Reps: 40, Seed: 1}},
+	{"E4", E4CompromisedRatio, Opts{Reps: 10, Seed: 1}},
+	{"E8", E8ThreatModels, Opts{Reps: 15, Seed: 1}},
+}
+
+func TestGoldenTables(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.run(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.String()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output diverged from golden\n--- got ---\n%s--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}

@@ -67,7 +67,7 @@ func SuccessProbability(outcomes []Outcome, level float64) (stats.Interval, erro
 // only (the conventional conditional-on-success reading). It returns
 // ErrNoData when no replication succeeded.
 func TTASummary(outcomes []Outcome) (stats.Summary, error) {
-	var times []float64
+	times := make([]float64, 0, len(outcomes))
 	for _, o := range outcomes {
 		if o.Success {
 			times = append(times, o.TTA)
@@ -82,7 +82,7 @@ func TTASummary(outcomes []Outcome) (stats.Summary, error) {
 // TTACI returns the mean Time-To-Attack of successful replications with a
 // Student-t confidence interval.
 func TTACI(outcomes []Outcome, level float64) (stats.Interval, error) {
-	var times []float64
+	times := make([]float64, 0, len(outcomes))
 	for _, o := range outcomes {
 		if o.Success {
 			times = append(times, o.TTA)
@@ -99,7 +99,7 @@ func TTACI(outcomes []Outcome, level float64) (stats.Interval, error) {
 // includeCensored counts them at the horizon value (a conservative lower
 // bound commonly reported alongside the detected-only mean).
 func TTSFSummary(outcomes []Outcome, includeCensored bool) (stats.Summary, error) {
-	var times []float64
+	times := make([]float64, 0, len(outcomes))
 	for _, o := range outcomes {
 		switch {
 		case o.Detected:

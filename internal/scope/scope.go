@@ -135,7 +135,7 @@ func (cs *CaseStudy) buildSAN(assign *diversity.Assignment) (*sanModel, error) {
 		latency float64
 		entry   bool
 	}
-	var params []nodeParams
+	params := make([]nodeParams, 0, cs.Topo.Len())
 	for _, n := range cs.Topo.Nodes() {
 		if len(n.Components) == 0 {
 			continue
@@ -205,8 +205,11 @@ func (cs *CaseStudy) buildSAN(assign *diversity.Assignment) (*sanModel, error) {
 	for _, np := range params {
 		np := np
 		compPlace := sm.perNode[np.node.ID]
-		var predPlaces []san.PlaceID
-		for _, nb := range cs.Topo.Neighbors(np.node.ID) {
+		// The sealed neighbor view is a shared zero-alloc slice; only the
+		// matching place IDs are copied out.
+		nbs := cs.Topo.Neighbors(np.node.ID)
+		predPlaces := make([]san.PlaceID, 0, len(nbs))
+		for _, nb := range nbs {
 			if p, ok := sm.perNode[nb.Node]; ok {
 				predPlaces = append(predPlaces, p)
 			}

@@ -10,12 +10,23 @@
 // nodes whose hardening disconnects attack paths — the concrete meaning
 // of the paper's "small, strategically distributed, number of highly
 // attack-resilient components").
+//
+// The graph is build-once, read-many: construction (AddNode/Connect) is
+// sequential, and the first read query seals the topology into a
+// CSR-style layout — one sorted neighbor slab per node plus per-vector
+// filtered views — so Neighbors/NeighborsByVector are zero-allocation
+// slice returns and safe to call from concurrent Monte-Carlo workers.
+// Mutating the graph after a read invalidates the sealed layout; the
+// next read rebuilds it.
 package topology
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"diversify/internal/exploits"
 )
@@ -147,16 +158,44 @@ type Link struct {
 
 // Topology is the system graph. Build with AddNode/Connect; the structure
 // is append-only (diversity experiments overlay component assignments
-// rather than mutating the graph).
+// rather than mutating the graph). Construction is not safe for
+// concurrent use; once built, all read queries are.
 type Topology struct {
 	nodes []Node
 	links []Link
-	adj   map[NodeID][]int // node → indices into links
+	adj   [][]int32 // node → indices into links
+
+	sealMu sync.Mutex
+	sealed atomic.Pointer[sealedGraph]
+}
+
+// sealedGraph is the read-optimized CSR layout built lazily on first
+// query: the full sorted neighbor slab, one filtered view per attack
+// vector (derived from Medium.Carries, the single source of truth for
+// traversability), and the kind index. It is immutable once published.
+type sealedGraph struct {
+	all    neighborView
+	byVec  []neighborView // indexed by exploits.Vector
+	byKind map[Kind][]NodeID
+}
+
+// neighborView is one CSR adjacency: node i's neighbors occupy
+// slab[off[i]:off[i+1]], sorted by neighbor node ID.
+type neighborView struct {
+	off  []int32
+	slab []Neighbor
+}
+
+// of returns node id's span with a full slice expression, so an append by
+// a misbehaving caller reallocates instead of clobbering the next span.
+func (v neighborView) of(id NodeID) []Neighbor {
+	lo, hi := v.off[id], v.off[id+1]
+	return v.slab[lo:hi:hi]
 }
 
 // New returns an empty topology.
 func New() *Topology {
-	return &Topology{adj: map[NodeID][]int{}}
+	return &Topology{}
 }
 
 // AddNode declares a node and returns its ID. The components map is
@@ -168,11 +207,14 @@ func (t *Topology) AddNode(name string, kind Kind, zone Zone, components map[exp
 		comp[k] = v
 	}
 	t.nodes = append(t.nodes, Node{ID: id, Name: name, Kind: kind, Zone: zone, Components: comp})
+	t.adj = append(t.adj, nil)
+	t.sealed.Store(nil)
 	return id
 }
 
 // Connect adds an undirected link. It panics on unknown endpoints
-// (construction bug).
+// (construction bug). Connecting after a read query invalidates the
+// sealed layout; the next query rebuilds it.
 func (t *Topology) Connect(a, b NodeID, medium Medium, firewall exploits.VariantID) {
 	if int(a) >= len(t.nodes) || int(b) >= len(t.nodes) || a < 0 || b < 0 {
 		panic(fmt.Sprintf("topology: connect references unknown node (%d,%d)", a, b))
@@ -180,10 +222,86 @@ func (t *Topology) Connect(a, b NodeID, medium Medium, firewall exploits.Variant
 	if a == b {
 		panic("topology: self-link")
 	}
-	idx := len(t.links)
+	idx := int32(len(t.links))
 	t.links = append(t.links, Link{A: a, B: b, Medium: medium, Firewall: firewall})
 	t.adj[a] = append(t.adj[a], idx)
 	t.adj[b] = append(t.adj[b], idx)
+	t.sealed.Store(nil)
+}
+
+// seal returns the current sealed layout, building it when absent.
+// Concurrent callers race on the fast path and serialize the build.
+func (t *Topology) seal() *sealedGraph {
+	if s := t.sealed.Load(); s != nil {
+		return s
+	}
+	t.sealMu.Lock()
+	defer t.sealMu.Unlock()
+	if s := t.sealed.Load(); s != nil {
+		return s
+	}
+	s := t.buildSeal()
+	t.sealed.Store(s)
+	return s
+}
+
+// sealedVectorSpan covers every vector defined by the exploits package;
+// each gets its own Carries-filtered view so the sealed layout can never
+// diverge from the path/reachability queries.
+const sealedVectorSpan = int(exploits.VectorLocal) + 1
+
+// buildSeal computes the CSR layout: degree counts → prefix offsets →
+// slab fill → per-node sort (stable on node ID, so parallel edges keep
+// link-insertion order) → one Carries-filtered view per vector copied
+// from the sorted slab.
+func (t *Topology) buildSeal() *sealedGraph {
+	n := len(t.nodes)
+	s := &sealedGraph{byKind: map[Kind][]NodeID{}}
+	s.all.off = make([]int32, n+1)
+	total := int32(0)
+	for i, links := range t.adj {
+		s.all.off[i] = total
+		total += int32(len(links))
+	}
+	s.all.off[n] = total
+	s.all.slab = make([]Neighbor, total)
+	for i := range t.adj {
+		span := s.all.slab[s.all.off[i]:s.all.off[i+1]]
+		for j, li := range t.adj[i] {
+			l := t.links[li]
+			other := l.A
+			if other == NodeID(i) {
+				other = l.B
+			}
+			span[j] = Neighbor{Node: other, Medium: l.Medium, Firewall: l.Firewall}
+		}
+		slices.SortStableFunc(span, func(a, b Neighbor) int { return cmp.Compare(a.Node, b.Node) })
+	}
+	s.byVec = make([]neighborView, sealedVectorSpan)
+	for vi := range s.byVec {
+		v := exploits.Vector(vi)
+		count := 0
+		for _, nb := range s.all.slab {
+			if nb.Medium.Carries(v) {
+				count++
+			}
+		}
+		view := neighborView{off: make([]int32, n+1), slab: make([]Neighbor, 0, count)}
+		for i := 0; i < n; i++ {
+			view.off[i] = int32(len(view.slab))
+			for _, nb := range s.all.of(NodeID(i)) {
+				if nb.Medium.Carries(v) {
+					view.slab = append(view.slab, nb)
+				}
+			}
+		}
+		view.off[n] = int32(len(view.slab))
+		s.byVec[vi] = view
+	}
+	for _, node := range t.nodes {
+		s.byKind[node.Kind] = append(s.byKind[node.Kind], node.ID)
+	}
+	return s
 }
 
 // Len returns the number of nodes.
@@ -205,14 +323,13 @@ func (t *Topology) Nodes() []Node { return t.nodes }
 func (t *Topology) Links() []Link { return t.links }
 
 // NodesOfKind returns the IDs of all nodes with the given kind, ascending.
+// The slice is freshly allocated (callers shuffle it in place).
 func (t *Topology) NodesOfKind(kind Kind) []NodeID {
-	var out []NodeID
-	for _, n := range t.nodes {
-		if n.Kind == kind {
-			out = append(out, n.ID)
-		}
+	ids := t.seal().byKind[kind]
+	if len(ids) == 0 {
+		return nil
 	}
-	return out
+	return append([]NodeID(nil), ids...)
 }
 
 // Neighbor is one hop reachable from a node.
@@ -222,30 +339,34 @@ type Neighbor struct {
 	Firewall exploits.VariantID
 }
 
-// Neighbors lists nodes adjacent to id over any medium.
+// Neighbors lists nodes adjacent to id over any medium, sorted by node
+// ID. The slice is a view into the sealed layout: zero-allocation,
+// shared, read-only.
 func (t *Topology) Neighbors(id NodeID) []Neighbor {
-	var out []Neighbor
-	for _, li := range t.adj[id] {
-		l := t.links[li]
-		other := l.A
-		if other == id {
-			other = l.B
-		}
-		out = append(out, Neighbor{Node: other, Medium: l.Medium, Firewall: l.Firewall})
+	if int(id) < 0 || int(id) >= len(t.nodes) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
-	return out
+	return t.seal().all.of(id)
 }
 
 // NeighborsByVector lists neighbors reachable with an attack of the given
 // vector (media filtering only; firewall effects are probabilistic and
-// belong to the threat model).
+// belong to the threat model). The slice is a view into the sealed
+// layout: zero-allocation, shared, read-only.
 func (t *Topology) NeighborsByVector(id NodeID, v exploits.Vector) []Neighbor {
-	all := t.Neighbors(id)
-	out := all[:0:0]
-	for _, n := range all {
-		if n.Medium.Carries(v) {
-			out = append(out, n)
+	if int(id) < 0 || int(id) >= len(t.nodes) {
+		return nil
+	}
+	s := t.seal()
+	if int(v) >= 0 && int(v) < len(s.byVec) {
+		return s.byVec[v].of(id)
+	}
+	// Vector newer than the sealed layout: filter on the fly (allocates,
+	// but keeps Medium.Carries authoritative for every vector).
+	var out []Neighbor
+	for _, nb := range s.all.of(id) {
+		if nb.Medium.Carries(v) {
+			out = append(out, nb)
 		}
 	}
 	return out
@@ -255,7 +376,7 @@ func (t *Topology) NeighborsByVector(id NodeID, v exploits.Vector) []Neighbor {
 // carry any of the given vectors (or any medium when vectors is empty).
 // It returns nil when no path exists.
 func (t *Topology) ShortestPath(src, dst NodeID, vectors ...exploits.Vector) []NodeID {
-	if int(src) >= len(t.nodes) || int(dst) >= len(t.nodes) {
+	if int(src) >= len(t.nodes) || int(dst) >= len(t.nodes) || src < 0 || dst < 0 {
 		return nil
 	}
 	if src == dst {
@@ -272,24 +393,21 @@ func (t *Topology) ShortestPath(src, dst NodeID, vectors ...exploits.Vector) []N
 		}
 		return false
 	}
+	adj := t.seal().all
 	prev := make([]NodeID, len(t.nodes))
 	for i := range prev {
 		prev[i] = -1
 	}
 	prev[src] = src
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, li := range t.adj[cur] {
-			l := t.links[li]
-			if !usable(l.Medium) {
+	queue := make([]NodeID, 0, len(t.nodes))
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, nb := range adj.of(cur) {
+			if !usable(nb.Medium) {
 				continue
 			}
-			next := l.A
-			if next == cur {
-				next = l.B
-			}
+			next := nb.Node
 			if prev[next] != -1 {
 				continue
 			}
@@ -302,9 +420,7 @@ func (t *Topology) ShortestPath(src, dst NodeID, vectors ...exploits.Vector) []N
 						break
 					}
 				}
-				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-					path[i], path[j] = path[j], path[i]
-				}
+				slices.Reverse(path)
 				return path
 			}
 			queue = append(queue, next)
@@ -325,6 +441,7 @@ func (t *Topology) Reachable(src, dst NodeID, vectors ...exploits.Vector) bool {
 // they separate.
 func (t *Topology) ArticulationPoints() []NodeID {
 	n := len(t.nodes)
+	adj := t.seal().all
 	disc := make([]int, n)
 	low := make([]int, n)
 	parent := make([]int, n)
@@ -340,12 +457,8 @@ func (t *Topology) ArticulationPoints() []NodeID {
 		low[u] = timer
 		timer++
 		children := 0
-		for _, li := range t.adj[NodeID(u)] {
-			l := t.links[li]
-			v := int(l.A)
-			if v == u {
-				v = int(l.B)
-			}
+		for _, nb := range adj.of(NodeID(u)) {
+			v := int(nb.Node)
 			if disc[v] == -1 {
 				children++
 				parent[v] = u
@@ -385,25 +498,21 @@ func (t *Topology) ArticulationPoints() []NodeID {
 // parallel equal-cost routes exist — all of them carry attack traffic.
 func (t *Topology) OnPathScores(entries, targets []NodeID) map[NodeID]int {
 	scores := map[NodeID]int{}
+	adj := t.seal().all
 	distFrom := func(src NodeID) []int {
 		dist := make([]int, len(t.nodes))
 		for i := range dist {
 			dist[i] = -1
 		}
 		dist[src] = 0
-		queue := []NodeID{src}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, li := range t.adj[cur] {
-				l := t.links[li]
-				next := l.A
-				if next == cur {
-					next = l.B
-				}
-				if dist[next] == -1 {
-					dist[next] = dist[cur] + 1
-					queue = append(queue, next)
+		queue := make([]NodeID, 0, len(t.nodes))
+		queue = append(queue, src)
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			for _, nb := range adj.of(cur) {
+				if dist[nb.Node] == -1 {
+					dist[nb.Node] = dist[cur] + 1
+					queue = append(queue, nb.Node)
 				}
 			}
 		}
