@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Small-but-real settings: powergrid, 15-day horizon, compromised-ratio
+// objective. The strategies must beat random placement at the same
+// budget.
+func smallArgs(strategy string) []string {
+	return []string{
+		"-topo", "powergrid", "-strategy", strategy, "-objective", "ratio",
+		"-budget", "20", "-reps", "24", "-horizon", "360",
+		"-iterations", "150", "-seed", "7",
+	}
+}
+
+// The acceptance criterion: on the powergrid example every strategy finds
+// an assignment with strictly lower attack success / compromised ratio
+// than random placement at the same budget, deterministically under a
+// fixed seed, and the memoization cache reports hits for the stochastic
+// searches.
+func TestStrategiesBeatRandomPlacement(t *testing.T) {
+	type summary struct {
+		Random struct {
+			Value      float64 `json:"value"`
+			FinalRatio float64 `json:"final_ratio"`
+		} `json:"random"`
+		Best struct {
+			Value      float64 `json:"value"`
+			FinalRatio float64 `json:"final_ratio"`
+			Cost       float64 `json:"cost"`
+		} `json:"best"`
+		CacheHits int `json:"cache_hits"`
+	}
+	for _, strategy := range []string{"greedy", "anneal", "genetic"} {
+		var buf bytes.Buffer
+		if err := run(append(smallArgs(strategy), "-json"), &buf); err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		var s summary
+		if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+			t.Fatalf("%s: decoding: %v", strategy, err)
+		}
+		if s.Best.Value >= s.Random.Value {
+			t.Errorf("%s: best value %.4f not strictly below random %.4f",
+				strategy, s.Best.Value, s.Random.Value)
+		}
+		if s.Best.FinalRatio >= s.Random.FinalRatio {
+			t.Errorf("%s: best compromised ratio %.4f not strictly below random %.4f",
+				strategy, s.Best.FinalRatio, s.Random.FinalRatio)
+		}
+		if s.Best.Cost > 20 {
+			t.Errorf("%s: best cost %.1f exceeds budget", strategy, s.Best.Cost)
+		}
+		if strategy != "greedy" && s.CacheHits == 0 {
+			t.Errorf("%s: expected memoization cache hits", strategy)
+		}
+	}
+}
+
+// Same seed must reproduce the same full output, byte for byte.
+func TestOutputDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(smallArgs("anneal"), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(smallArgs("anneal"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+// The text report carries the headline sections.
+func TestTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(smallArgs("greedy"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline", "random-placement", "best-found",
+		"best assignment", "Pareto front", "cache hits"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Bad flags surface as errors, not panics.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-strategy", "hillclimb"},
+		{"-topo", "mesh"},
+		{"-threat", "mirai"},
+		{"-classes", "GPU"},
+		{"-objective", "entropy"},
+	} {
+		var buf bytes.Buffer
+		if err := run(append(args, "-reps", "2", "-horizon", "24"), &buf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

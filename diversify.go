@@ -13,7 +13,12 @@
 //     replication of the security indicators Time-To-Attack,
 //     Time-To-Security-Failure and compromised ratio;
 //  3. Diversity Assessment — ANOVA variance allocation identifying which
-//     components are worth diversifying.
+//     components are worth diversifying;
+//  4. Diversity Placement — budget-constrained optimization deciding
+//     WHERE the scarce resilient variants go: greedy, simulated-annealing
+//     and genetic search over node-variant assignments with the
+//     Monte-Carlo campaign engine as the objective function (see
+//     Optimize).
 //
 // Quick start:
 //
@@ -39,10 +44,12 @@ import (
 
 	"diversify/internal/anova"
 	"diversify/internal/core"
+	"diversify/internal/diversity"
 	"diversify/internal/doe"
 	"diversify/internal/exploits"
 	"diversify/internal/indicators"
 	"diversify/internal/malware"
+	"diversify/internal/optimize"
 	"diversify/internal/scope"
 	"diversify/internal/topology"
 )
@@ -165,4 +172,145 @@ func ThreatProfiles() map[string]malware.Profile {
 		"duqu":    malware.DuquProfile(),
 		"flame":   malware.FlameProfile(),
 	}
+}
+
+// Step-4 re-exports: the placement optimizer's result types.
+type (
+	// OptimizeResult is a placement optimization outcome: baseline /
+	// random / best scores, the winning decisions, the search trace, the
+	// cost-vs-risk Pareto front and cache accounting.
+	OptimizeResult = optimize.Result
+	// OptimizeScore is one evaluated candidate's measurements.
+	OptimizeScore = optimize.Score
+	// PlacementDecision is one node-variant decision of the winner.
+	PlacementDecision = optimize.Decision
+)
+
+// OptimizeConfig parameterizes the step-4 placement optimization on a
+// built-in reference topology.
+type OptimizeConfig struct {
+	// Topology selects the plant: "tiered" (default) or "powergrid".
+	Topology string
+	// Threat selects the profile: "stuxnet" (default), "duqu", "flame".
+	Threat string
+	// Strategy selects the search: "greedy" (default), "anneal",
+	// "genetic".
+	Strategy string
+	// Classes are the diversifiable component classes by factor name
+	// ("OS", "PLC", "Protocol", "HMI", "EngTools"); default OS + PLC +
+	// Protocol.
+	Classes []string
+	// Objective selects the minimized indicator: "success" (default,
+	// attack-success probability), "ratio" (final compromised ratio) or
+	// "ttsf" (maximize time-to-security-failure).
+	Objective string
+	// Budget caps the cost model; PlatformCost prices each extra distinct
+	// variant per class (default 5), NodeCost each deviating node
+	// (default 2).
+	Budget       float64
+	PlatformCost float64
+	NodeCost     float64
+	// Iterations bounds the search (annealing proposals / genetic
+	// generations / greedy rounds; 0 = strategy default); Population is
+	// the genetic population size.
+	Iterations int
+	Population int
+	// Reps is the Monte-Carlo replication count per candidate (default
+	// 50); HorizonHours the observation window (default 720); Seed makes
+	// the search reproducible; Workers bounds parallelism.
+	Reps         int
+	HorizonHours float64
+	Seed         uint64
+	Workers      int
+}
+
+// optimizeClasses maps factor names to component classes.
+var optimizeClasses = map[string]exploits.Class{
+	"OS":       exploits.ClassOS,
+	"PLC":      exploits.ClassPLCFirmware,
+	"Protocol": exploits.ClassProtocol,
+	"HMI":      exploits.ClassHMISoftware,
+	"EngTools": exploits.ClassEngTools,
+}
+
+// Optimize runs the step-4 placement search: it looks for the assignment
+// of catalog variants to nodes that minimizes the chosen indicator under
+// the budget, and reports it alongside the undiversified baseline, a
+// random placement at the same budget, and the cost-vs-risk Pareto front
+// of everything evaluated. Placement is restricted to the monitoring and
+// control system proper — hardening the attacker's entry PCs is not a
+// defense the paper considers.
+func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
+	var topo *topology.Topology
+	switch cfg.Topology {
+	case "", "tiered":
+		topo = topology.NewTieredSCADA(topology.DefaultTieredSpec())
+	case "powergrid":
+		topo = topology.NewPowerGrid(topology.DefaultPowerGridSpec())
+	default:
+		return nil, fmt.Errorf("diversify: unknown topology %q (want tiered or powergrid)", cfg.Topology)
+	}
+	profiles := ThreatProfiles()
+	threat := cfg.Threat
+	if threat == "" {
+		threat = "stuxnet"
+	}
+	profile, ok := profiles[threat]
+	if !ok {
+		return nil, fmt.Errorf("diversify: unknown threat %q", threat)
+	}
+	names := cfg.Classes
+	if len(names) == 0 {
+		names = []string{"OS", "PLC", "Protocol"}
+	}
+	var classes []exploits.Class
+	for _, n := range names {
+		c, ok := optimizeClasses[n]
+		if !ok {
+			return nil, fmt.Errorf("diversify: unknown component class %q", n)
+		}
+		classes = append(classes, c)
+	}
+	var objective optimize.Objective
+	switch cfg.Objective {
+	case "", "success":
+		objective = optimize.MinimizeSuccess
+	case "ratio":
+		objective = optimize.MinimizeRatio
+	case "ttsf":
+		objective = optimize.MaximizeTTSF
+	default:
+		return nil, fmt.Errorf("diversify: unknown objective %q (want success, ratio or ttsf)", cfg.Objective)
+	}
+	strategy := cfg.Strategy
+	if strategy == "" {
+		strategy = "greedy"
+	}
+	opt, err := optimize.ByName(strategy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("diversify: Budget must be positive, got %v — with no budget every option is rejected and the search is a no-op", cfg.Budget)
+	}
+	cat := exploits.StuxnetCatalog()
+	filter := func(n topology.Node) bool { return n.Kind != topology.KindCorporatePC }
+	options := diversity.EnumerateOptions(topo, cat, classes, filter)
+	platform, node := cfg.PlatformCost, cfg.NodeCost
+	if platform <= 0 {
+		platform = 5
+	}
+	if node <= 0 {
+		node = 2
+	}
+	return optimize.Run(optimize.Problem{
+		Topo: topo, Catalog: cat, Profile: profile,
+		Options:   options,
+		Cost:      diversity.CostModel{PlatformCost: platform, NodeCost: node},
+		Budget:    cfg.Budget,
+		Objective: objective,
+		Horizon:   cfg.HorizonHours,
+		Reps:      cfg.Reps, Workers: cfg.Workers, Seed: cfg.Seed,
+		Iterations: cfg.Iterations, Population: cfg.Population,
+	}, opt)
 }

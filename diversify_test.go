@@ -92,3 +92,35 @@ func TestThreatProfiles(t *testing.T) {
 		}
 	}
 }
+
+func TestOptimizeFacade(t *testing.T) {
+	res, err := Optimize(OptimizeConfig{
+		Topology: "powergrid", Strategy: "greedy",
+		Classes: []string{"OS"}, Budget: 12,
+		Reps: 8, HorizonHours: 168, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Value > res.Baseline.Value {
+		t.Fatalf("best %.4f worse than baseline %.4f", res.Best.Value, res.Baseline.Value)
+	}
+	if res.Best.Cost > 12 {
+		t.Fatalf("best cost %.1f over budget", res.Best.Cost)
+	}
+	if len(res.Pareto) == 0 {
+		t.Fatal("empty pareto front")
+	}
+	for _, bad := range []OptimizeConfig{
+		{Topology: "mesh"},
+		{Threat: "mirai"},
+		{Strategy: "hillclimb"},
+		{Classes: []string{"GPU"}},
+		{Objective: "entropy"},
+		{}, // zero budget: the whole search would be a no-op
+	} {
+		if _, err := Optimize(bad); err == nil {
+			t.Fatalf("config %+v: expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Optimal placement walkthrough: the paper's case study argues that "a
+// small, strategically distributed, number of highly attack-resilient
+// components can significantly lower the chance of bringing a successful
+// attack". This example makes the claim quantitative on the power-grid
+// topology by comparing, at the SAME cost budget:
+//
+//   - PlaceRandom  — harden k random control-system nodes (the policy the
+//     paper argues against);
+//   - PlaceWorst   — harden the k least path-central nodes (lower bound);
+//   - PlaceStrategic — harden the k most path-central nodes (articulation
+//     points first): the paper's policy made concrete;
+//   - the step-4 optimizer (greedy / anneal / genetic), which searches
+//     assignments with the Monte-Carlo campaign engine as the objective.
+//
+// The optimizer routinely matches or beats hand-crafted strategic
+// placement while spending less than the budget — it discovers the
+// cut-set (the engineering workstation and historian sitting on every
+// attack path) and stops paying once the path is closed.
+//
+//	go run ./examples/optimal-placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/indicators"
+	"diversify/internal/malware"
+	"diversify/internal/optimize"
+	"diversify/internal/rng"
+	"diversify/internal/topology"
+)
+
+const (
+	budget  = 12.0
+	horizon = 360.0
+	reps    = 120
+	seed    = 7
+)
+
+func main() {
+	topo := topology.NewPowerGrid(topology.DefaultPowerGridSpec())
+	cat := exploits.StuxnetCatalog()
+	profile := malware.StuxnetProfile()
+	cost := diversity.CostModel{PlatformCost: 5, NodeCost: 2}
+	filter := func(n topology.Node) bool { return n.Kind != topology.KindCorporatePC }
+
+	// Evaluate any assignment under common random numbers.
+	evaluate := func(a *diversity.Assignment) (psucc, ratio float64) {
+		outs, err := malware.Evaluate(malware.EvalSpec{
+			Config:  malware.Config{Topo: topo, Catalog: cat, Profile: profile, Assign: a.Func()},
+			Horizon: horizon, Reps: reps, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		succ := 0
+		for _, o := range outs {
+			if o.Success {
+				succ++
+			}
+			ratio += indicators.RatioAt(o.Compromised, o.Horizon)
+		}
+		return float64(succ) / float64(len(outs)), ratio / float64(len(outs))
+	}
+
+	// The classic placements harden k OS stacks with the most resilient
+	// variant; k is the largest count the budget affords under the cost
+	// model (1 extra platform + k migrated nodes).
+	k := int((budget - cost.PlatformCost) / cost.NodeCost)
+	entries := topo.NodesOfKind(topology.KindCorporatePC)
+	targets := topo.NodesOfKind(topology.KindPLC)
+
+	fmt.Printf("power grid, Stuxnet profile, budget %.0f (platform %.0f + node %.0f), horizon %.0fh, %d reps\n\n",
+		budget, cost.PlatformCost, cost.NodeCost, horizon, reps)
+	fmt.Printf("%-22s %-8s %-10s %-10s %s\n", "policy", "cost", "Psuccess", "CRfinal", "hardened/decisions")
+
+	report := func(name string, a *diversity.Assignment, detail string) {
+		ps, cr := evaluate(a)
+		fmt.Printf("%-22s %-8.1f %-10.3f %-10.3f %s\n", name, cost.Cost(topo, a), ps, cr, detail)
+	}
+
+	base := diversity.NewAssignment()
+	report("baseline (none)", base, "-")
+
+	randAssign := diversity.NewAssignment()
+	chosen := diversity.PlaceRandom(topo, randAssign, exploits.ClassOS,
+		exploits.OSHardened, k, rng.New(seed), filter)
+	report("PlaceRandom", randAssign, fmt.Sprintf("%d nodes", len(chosen)))
+
+	worstAssign := diversity.NewAssignment()
+	chosen = diversity.PlaceWorst(topo, worstAssign, exploits.ClassOS,
+		exploits.OSHardened, k, entries, targets, filter)
+	report("PlaceWorst", worstAssign, fmt.Sprintf("%d nodes", len(chosen)))
+
+	stratAssign := diversity.NewAssignment()
+	chosen = diversity.PlaceStrategic(topo, stratAssign, exploits.ClassOS,
+		exploits.OSHardened, k, entries, targets, filter)
+	report("PlaceStrategic", stratAssign, fmt.Sprintf("%d nodes", len(chosen)))
+
+	// The optimizer searches OS + protocol switches under the same budget.
+	options := diversity.EnumerateOptions(topo, cat,
+		[]exploits.Class{exploits.ClassOS, exploits.ClassProtocol}, filter)
+	for _, name := range []string{"greedy", "anneal", "genetic"} {
+		strat, err := optimize.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := optimize.Run(optimize.Problem{
+			Topo: topo, Catalog: cat, Profile: profile,
+			Options: options, Cost: cost, Budget: budget,
+			Objective: optimize.MinimizeSuccess,
+			Horizon:   horizon, Reps: reps, Seed: seed, Iterations: 200,
+		}, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("optimize/"+name, res.BestAssignment,
+			fmt.Sprintf("%d decisions, %d sims, %d cache hits",
+				len(res.Decisions), res.Replications, res.CacheHits))
+	}
+
+	fmt.Println("\nreading: strategic placement concentrates the budget on the cut set and")
+	fmt.Println("crushes PSA where random placement only dents it; the simulation-in-the-loop")
+	fmt.Println("optimizer finds the same cut set automatically — and cheaper, because it")
+	fmt.Println("stops spending once the attack path is closed.")
+}

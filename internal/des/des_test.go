@@ -308,3 +308,73 @@ func BenchmarkScheduleRun(b *testing.B) {
 		}
 	}
 }
+
+// SchedulePayload must interleave with closure events in FIFO-per-time
+// order and deliver the scheduled argument.
+func TestSchedulePayload(t *testing.T) {
+	s := NewSim()
+	var order []int32
+	record := func(p Payload) { order = append(order, p.Node) }
+	s.SchedulePayload(2, record, Payload{Node: 2, P: 0.5})
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.SchedulePayload(2, record, Payload{Node: 3})
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// A cancelled payload event must not fire and must release its callback.
+func TestSchedulePayloadCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	ev := s.SchedulePayload(1, func(Payload) { fired = true }, Payload{})
+	ev.Cancel()
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled payload event fired")
+	}
+}
+
+// Reset must make a reused simulator behave exactly like a fresh one.
+func TestSimReset(t *testing.T) {
+	run := func(s *Sim) []float64 {
+		var times []float64
+		s.Schedule(1, func() {
+			times = append(times, s.Now())
+			s.Schedule(2, func() { times = append(times, s.Now()) })
+		})
+		s.SchedulePayload(5, func(Payload) { times = append(times, s.Now()) }, Payload{})
+		s.Schedule(100, func() { times = append(times, s.Now()) }) // beyond horizon
+		if err := s.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	s := NewSim()
+	first := run(s)
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.FiredEvents() != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d fired=%d", s.Now(), s.Pending(), s.FiredEvents())
+	}
+	second := run(s)
+	fresh := run(NewSim())
+	if len(first) != len(fresh) || len(second) != len(fresh) {
+		t.Fatalf("lengths differ: first=%v second=%v fresh=%v", first, second, fresh)
+	}
+	for i := range fresh {
+		if first[i] != fresh[i] || second[i] != fresh[i] {
+			t.Fatalf("run traces differ: first=%v second=%v fresh=%v", first, second, fresh)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package diversity
+
+import (
+	"cmp"
+	"slices"
+
+	"diversify/internal/exploits"
+	"diversify/internal/topology"
+)
+
+// Entry is one explicit overlay decision: node n runs variant v for
+// component class c.
+type Entry struct {
+	Node    topology.NodeID
+	Class   exploits.Class
+	Variant exploits.VariantID
+}
+
+// compareEntries orders entries by (node, class, variant) — the canonical
+// order Entries and Fingerprint use.
+func compareEntries(a, b Entry) int {
+	if c := cmp.Compare(a.Node, b.Node); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Class, b.Class); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Variant, b.Variant)
+}
+
+// Entries returns the overlay decisions in canonical (node, class) order.
+func (a *Assignment) Entries() []Entry {
+	out := make([]Entry, 0, a.Len())
+	for n, m := range a.overlay {
+		for c, v := range m {
+			out = append(out, Entry{Node: n, Class: c, Variant: v})
+		}
+	}
+	slices.SortFunc(out, compareEntries)
+	return out
+}
+
+// Len returns the number of explicit (node, class) overlay decisions.
+func (a *Assignment) Len() int {
+	n := 0
+	for _, m := range a.overlay {
+		n += len(m)
+	}
+	return n
+}
+
+// Unset removes the overlay decision for (node, class), restoring the
+// topology default there. Unsetting an absent entry is a no-op.
+func (a *Assignment) Unset(n topology.NodeID, c exploits.Class) {
+	if m, ok := a.overlay[n]; ok {
+		delete(m, c)
+		if len(m) == 0 {
+			delete(a.overlay, n)
+		}
+	}
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Fingerprint returns a deterministic 64-bit digest of the overlay (an
+// FNV-1a hash over the canonically ordered entries). Two assignments with
+// identical decisions share a fingerprint regardless of insertion order,
+// which is what lets the optimizer's evaluation cache recognize a
+// candidate it has already simulated.
+func (a *Assignment) Fingerprint() uint64 {
+	entries := a.Entries()
+	h := uint64(fnvOffset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	for _, e := range entries {
+		id := uint64(e.Node)
+		for i := 0; i < 8; i++ {
+			mix(byte(id >> (8 * i)))
+		}
+		mix(byte(e.Class))
+		for i := 0; i < len(e.Variant); i++ {
+			mix(e.Variant[i])
+		}
+		mix(0xFF) // entry separator (variant IDs never contain 0xFF)
+	}
+	return h
+}
+
+// Option is one feasible diversification action the optimizer may take:
+// install Variant for Class on Node (replacing the topology default or a
+// previous overlay decision there).
+type Option struct {
+	Node    topology.NodeID
+	Class   exploits.Class
+	Variant exploits.VariantID
+}
+
+// Apply installs the option on an assignment.
+func (o Option) Apply(a *Assignment) { a.Set(o.Node, o.Class, o.Variant) }
+
+// EnumerateOptions lists every feasible (node, class, variant) switch: for
+// each node carrying one of the requested classes (and passing the
+// optional filter), every catalog variant of that class other than the
+// node's default. The result is sorted by (node, class, variant) so the
+// search space ordering — and therefore every seeded search over it — is
+// deterministic.
+func EnumerateOptions(t *topology.Topology, cat *exploits.Catalog,
+	classes []exploits.Class, filter func(topology.Node) bool) []Option {
+	var out []Option
+	for _, n := range t.Nodes() {
+		if filter != nil && !filter(n) {
+			continue
+		}
+		for _, c := range classes {
+			def, has := n.Components[c]
+			if !has {
+				continue
+			}
+			for _, v := range cat.VariantsOf(c) {
+				if v.ID == def {
+					continue
+				}
+				out = append(out, Option{Node: n.ID, Class: c, Variant: v.ID})
+			}
+		}
+	}
+	slices.SortFunc(out, func(a, b Option) int {
+		return compareEntries(Entry(a), Entry(b))
+	})
+	return out
+}

@@ -165,20 +165,16 @@ func E2TimeToAttack(o Opts) (*Result, error) {
 		if err := diversity.SpreadVariants(topo, assign, cat, exploits.ClassOS, k); err != nil {
 			return nil, err
 		}
-		outs := des.Replicate(reps, o.Workers, o.Seed+uint64(k), func(rep int, r *rng.Rand) indicators.Outcome {
-			c, err := malware.NewCampaign(malware.Config{
+		outs, err := malware.Evaluate(malware.EvalSpec{
+			Config: malware.Config{
 				Topo: topo, Catalog: cat, Profile: malware.StuxnetProfile(),
-				Rand: r, Assign: assign.Func(),
-			})
-			if err != nil {
-				return indicators.Outcome{}
-			}
-			out, err := c.Run(horizon)
-			if err != nil {
-				return indicators.Outcome{}
-			}
-			return out
+				Assign: assign.Func(),
+			},
+			Horizon: horizon, Reps: reps, Workers: o.Workers, Seed: o.Seed + uint64(k),
 		})
+		if err != nil {
+			return nil, err
+		}
 		ps, err := indicators.SuccessProbability(outs, 0.95)
 		if err != nil {
 			return nil, err
@@ -303,20 +299,17 @@ func E4CompromisedRatio(o Opts) (*Result, error) {
 			if div {
 				assign.SetClassEverywhere(topo, exploits.ClassProtocol, exploits.ProtoModbusDiv)
 			}
-			outs := des.Replicate(reps, o.Workers, o.Seed+uint64(k)*7+uint64(boolToInt(div)), func(rep int, r *rng.Rand) indicators.Outcome {
-				c, err := malware.NewCampaign(malware.Config{
+			outs, err := malware.Evaluate(malware.EvalSpec{
+				Config: malware.Config{
 					Topo: topo, Catalog: cat, Profile: malware.StuxnetProfile(),
-					Rand: r, Assign: assign.Func(),
-				})
-				if err != nil {
-					return indicators.Outcome{}
-				}
-				out, err := c.Run(horizon)
-				if err != nil {
-					return indicators.Outcome{}
-				}
-				return out
+					Assign: assign.Func(),
+				},
+				Horizon: horizon, Reps: reps, Workers: o.Workers,
+				Seed: o.Seed + uint64(k)*7 + uint64(boolToInt(div)),
 			})
+			if err != nil {
+				return nil, err
+			}
 			label := "std"
 			if div {
 				label = "div"

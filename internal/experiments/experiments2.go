@@ -9,7 +9,7 @@ import (
 
 	"diversify/internal/anova"
 	"diversify/internal/core"
-	"diversify/internal/des"
+
 	"diversify/internal/diversity"
 	"diversify/internal/doe"
 	"diversify/internal/exploits"
@@ -190,21 +190,16 @@ func E8ThreatModels(o Opts) (*Result, error) {
 			if err := diversity.SpreadVariants(topo, assign, cat, exploits.ClassOS, k); err != nil {
 				return nil, err
 			}
-			profile := profile
-			outs := des.Replicate(reps, o.Workers, o.Seed+uint64(k), func(rep int, r *rng.Rand) indicators.Outcome {
-				c, err := malware.NewCampaign(malware.Config{
+			outs, err := malware.Evaluate(malware.EvalSpec{
+				Config: malware.Config{
 					Topo: topo, Catalog: cat, Profile: profile,
-					Rand: r, Assign: assign.Func(),
-				})
-				if err != nil {
-					return indicators.Outcome{}
-				}
-				out, err := c.Run(horizon)
-				if err != nil {
-					return indicators.Outcome{}
-				}
-				return out
+					Assign: assign.Func(),
+				},
+				Horizon: horizon, Reps: reps, Workers: o.Workers, Seed: o.Seed + uint64(k),
 			})
+			if err != nil {
+				return nil, err
+			}
 			rep, err := indicators.Summarize(outs, 0.95)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,98 @@
+package optimize
+
+import (
+	"testing"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/malware"
+	"diversify/internal/topology"
+)
+
+func benchProblem() Problem {
+	topo := topology.NewTieredSCADA(topology.DefaultTieredSpec())
+	cat := exploits.StuxnetCatalog()
+	opts := diversity.EnumerateOptions(topo, cat,
+		[]exploits.Class{exploits.ClassOS, exploits.ClassProtocol},
+		func(n topology.Node) bool { return n.Kind != topology.KindCorporatePC })
+	return Problem{
+		Topo: topo, Catalog: cat, Profile: malware.StuxnetProfile(),
+		Options: opts,
+		Cost:    diversity.CostModel{PlatformCost: 5, NodeCost: 2},
+		Budget:  30,
+		Horizon: 168, Reps: 8, Seed: 1,
+		Iterations: 8,
+	}
+}
+
+// BenchmarkOptimizeGreedy measures a bounded greedy search end to end —
+// the optimizer workload the perf trajectory tracks.
+func BenchmarkOptimizeGreedy(b *testing.B) {
+	o, err := ByName("greedy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchProblem(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalCache isolates the memoized path: scoring an
+// already-simulated candidate must cost a fingerprint plus a map lookup,
+// no replications.
+func BenchmarkEvalCache(b *testing.B) {
+	p := benchProblem()
+	p.normalize()
+	if err := p.validate(); err != nil {
+		b.Fatal(err)
+	}
+	ev, err := newEvaluator(&p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := p.base()
+	p.Options[0].Apply(a)
+	p.Options[len(p.Options)-1].Apply(a)
+	if _, err := ev.Score(a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Score(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if ev.hits != b.N {
+		b.Fatalf("expected %d cache hits, got %d", b.N, ev.hits)
+	}
+}
+
+// BenchmarkEvalMiss measures one full candidate evaluation (replications
+// across the worker pool with campaign reuse) for contrast with the hit
+// path.
+func BenchmarkEvalMiss(b *testing.B) {
+	p := benchProblem()
+	p.normalize()
+	if err := p.validate(); err != nil {
+		b.Fatal(err)
+	}
+	ev, err := newEvaluator(&p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := p.base()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delete(ev.cache, a.Fingerprint())
+		ev.archive = ev.archive[:0]
+		if _, err := ev.Score(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

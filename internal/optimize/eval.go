@@ -1,0 +1,255 @@
+package optimize
+
+import (
+	"runtime"
+	"sync"
+
+	"diversify/internal/diversity"
+	"diversify/internal/indicators"
+	"diversify/internal/malware"
+	"diversify/internal/rng"
+)
+
+// candidate is one archived evaluation (the assignment snapshot feeds the
+// Pareto front and best-candidate extraction).
+type candidate struct {
+	fingerprint uint64
+	assignment  *diversity.Assignment
+	score       Score
+}
+
+// Evaluator turns assignments into Scores by Monte-Carlo campaign
+// simulation. It owns
+//
+//   - a pool of workers, each holding ONE reusable malware.Campaign
+//     (Reset between replications — construction is paid once per worker,
+//     not once per replication) and one RNG reseeded per replication;
+//   - a fixed vector of per-replication stream seeds, so every candidate
+//     is measured under common random numbers (identical attack luck),
+//     which makes candidate comparisons variance-reduced and the score a
+//     pure function of the assignment;
+//   - a memoization cache keyed by assignment fingerprint, so a candidate
+//     revisited by annealing or genetic recombination is never
+//     re-simulated.
+//
+// Score calls must come from one goroutine (the strategy loop); the
+// internal fan-out across workers is the only concurrency.
+type Evaluator struct {
+	p     *Problem
+	seeds []uint64
+
+	nWorkers int
+	camps    []*malware.Campaign
+	rands    []*rng.Rand
+
+	cache   map[uint64]Score
+	archive []candidate
+	hits    int
+	misses  int
+
+	// Per-replication result buffers, aggregated sequentially in
+	// replication order so float accumulation is independent of the
+	// worker count.
+	succBuf  []bool
+	ttsfBuf  []float64
+	ratioBuf []float64
+}
+
+// newEvaluator prepares the worker pool for a normalized, validated
+// problem.
+func newEvaluator(p *Problem) (*Evaluator, error) {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > p.Reps {
+		w = p.Reps
+	}
+	root := rng.New(p.Seed)
+	seeds := make([]uint64, p.Reps)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	ev := &Evaluator{
+		p:        p,
+		seeds:    seeds,
+		nWorkers: w,
+		camps:    make([]*malware.Campaign, w),
+		rands:    make([]*rng.Rand, w),
+		cache:    map[uint64]Score{},
+		succBuf:  make([]bool, p.Reps),
+		ttsfBuf:  make([]float64, p.Reps),
+		ratioBuf: make([]float64, p.Reps),
+	}
+	for i := range ev.rands {
+		ev.rands[i] = rng.New(0) // reseeded before every replication
+	}
+	// Fail fast on an unusable campaign template.
+	probe := malware.Config{
+		Topo: p.Topo, Catalog: p.Catalog, Profile: p.Profile,
+		Rand: rng.New(p.Seed), FirewallVariant: p.FirewallVariant,
+	}
+	if _, err := malware.NewCampaign(probe); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// Cost prices a candidate without simulating it — strategies use it to
+// screen infeasible moves before spending replications.
+func (e *Evaluator) Cost(a *diversity.Assignment) float64 {
+	return e.p.Cost.Cost(e.p.Topo, a)
+}
+
+// Score evaluates a candidate, consulting the fingerprint cache first.
+// The returned Score is identical for identical assignments regardless of
+// evaluation order or worker count. The assignment is snapshotted, so the
+// caller may keep mutating it.
+func (e *Evaluator) Score(a *diversity.Assignment) (Score, error) {
+	fp := a.Fingerprint()
+	if s, ok := e.cache[fp]; ok {
+		e.hits++
+		return s, nil
+	}
+	e.misses++
+	s, err := e.simulate(a)
+	if err != nil {
+		return Score{}, err
+	}
+	s.Cost = e.Cost(a)
+	s.Value = e.value(s)
+	e.cache[fp] = s
+	e.archive = append(e.archive, candidate{fingerprint: fp, assignment: a.Clone(), score: s})
+	return s, nil
+}
+
+// value maps measurements to the minimized scalar.
+func (e *Evaluator) value(s Score) float64 {
+	switch e.p.Objective {
+	case MinimizeRatio:
+		return s.FinalRatio
+	case MaximizeTTSF:
+		return -s.MeanTTSF
+	default: // MinimizeSuccess
+		return s.PSuccess + 1e-3*s.FinalRatio
+	}
+}
+
+// simulate runs the replications for one candidate across the worker
+// pool and aggregates the indicators. It deliberately does not delegate
+// to malware.Evaluate, whose per-call pool and Split-derived streams fit
+// one-shot evaluations: here campaigns persist ACROSS candidates and
+// every candidate replays the same reseeded per-replication streams
+// (common random numbers). A behavioral change in either fan-out should
+// be considered for the other.
+func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
+	assignFn := a.Func()
+	errs := make([]error, e.nWorkers)
+	var wg sync.WaitGroup
+	wg.Add(e.nWorkers)
+	for w := 0; w < e.nWorkers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Static chunking: replication i always runs stream seeds[i],
+			// whichever worker owns it, and writes only slot i.
+			lo := w * e.p.Reps / e.nWorkers
+			hi := (w + 1) * e.p.Reps / e.nWorkers
+			r := e.rands[w]
+			for i := lo; i < hi; i++ {
+				r.Seed(e.seeds[i])
+				camp := e.camps[w]
+				if camp == nil {
+					var err error
+					camp, err = malware.NewCampaign(malware.Config{
+						Topo: e.p.Topo, Catalog: e.p.Catalog, Profile: e.p.Profile,
+						Rand: r, Assign: assignFn, FirewallVariant: e.p.FirewallVariant,
+					})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					e.camps[w] = camp
+				} else {
+					camp.Reset(assignFn, r)
+				}
+				out, err := camp.Run(e.p.Horizon)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				e.succBuf[i] = out.Success
+				if out.Detected {
+					e.ttsfBuf[i] = out.TTSF
+				} else {
+					e.ttsfBuf[i] = out.Horizon
+				}
+				e.ratioBuf[i] = indicators.RatioAt(out.Compromised, out.Horizon)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Score{}, err
+		}
+	}
+	// Aggregate in replication order: float accumulation is then
+	// independent of the worker count.
+	var s Score
+	succ := 0
+	for i := 0; i < e.p.Reps; i++ {
+		if e.succBuf[i] {
+			succ++
+		}
+		s.MeanTTSF += e.ttsfBuf[i]
+		s.FinalRatio += e.ratioBuf[i]
+	}
+	n := float64(e.p.Reps)
+	s.PSuccess = float64(succ) / n
+	s.MeanTTSF /= n
+	s.FinalRatio /= n
+	return s, nil
+}
+
+// bestFeasible returns the best archived candidate within budget; equal
+// values prefer the cheaper assignment, remaining ties keep the earliest
+// evaluated (deterministic). The baseline is always in the archive, so
+// the result is never worse than it.
+func (e *Evaluator) bestFeasible(budget float64) (Score, *diversity.Assignment, uint64) {
+	var best candidate
+	found := false
+	for _, c := range e.archive {
+		if c.score.Cost > budget+budgetEps {
+			continue
+		}
+		better := !found || c.score.Value < best.score.Value ||
+			(c.score.Value == best.score.Value && c.score.Cost < best.score.Cost)
+		if better {
+			best = c
+			found = true
+		}
+	}
+	if !found {
+		return Score{}, nil, 0
+	}
+	return best.score, best.assignment, best.fingerprint
+}
+
+// newSearchRand derives an independent deterministic stream for one
+// search role, so strategy moves, the random baseline and the evaluation
+// streams never share draws.
+func newSearchRand(seed uint64, role string) *rng.Rand {
+	h := uint64(fnvOffsetBasis)
+	for i := 0; i < len(role); i++ {
+		h ^= uint64(role[i])
+		h *= fnvPrime64
+	}
+	return rng.New(seed ^ h)
+}
+
+// FNV-1a 64-bit parameters (local copy; diversity keeps its own for
+// fingerprinting).
+const (
+	fnvOffsetBasis = 14695981039346656037
+	fnvPrime64     = 1099511628211
+)

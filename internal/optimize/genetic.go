@@ -1,0 +1,184 @@
+package optimize
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"diversify/internal/diversity"
+	"diversify/internal/rng"
+)
+
+// Genetic is a population-based search: individuals are node-variant
+// overlays, recombined by uniform crossover over the union of their
+// overlay decisions, mutated with moveSpace moves and repaired back under
+// budget. Elites carry over unchanged each generation (their re-scores
+// are cache hits by construction). Iterations is the generation count.
+type Genetic struct {
+	// MutProb is the per-child mutation probability (default 0.35).
+	MutProb float64
+	// Elite is the number of top individuals copied unchanged into the
+	// next generation (default 2).
+	Elite int
+	// TournamentK is the selection tournament size (default 3).
+	TournamentK int
+}
+
+// Name implements Optimizer.
+func (*Genetic) Name() string { return "genetic" }
+
+type indiv struct {
+	a  *diversity.Assignment
+	s  Score
+	fp uint64
+}
+
+// Search implements Optimizer.
+func (g *Genetic) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
+	gens := p.Iterations
+	if gens <= 0 {
+		gens = 25
+	}
+	popSize := p.Population
+	if popSize < 4 {
+		popSize = 4
+	}
+	mutProb := g.MutProb
+	if mutProb <= 0 || mutProb > 1 {
+		mutProb = 0.35
+	}
+	elite := g.Elite
+	if elite <= 0 || elite >= popSize {
+		elite = 2
+	}
+	tk := g.TournamentK
+	if tk <= 1 {
+		tk = 3
+	}
+	ms := newMoveSpace(p)
+	score := func(members []*diversity.Assignment) ([]indiv, error) {
+		out := make([]indiv, len(members))
+		for i, a := range members {
+			s, err := ev.Score(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = indiv{a: a, s: s, fp: a.Fingerprint()}
+		}
+		return out, nil
+	}
+	// Seed population: the incumbent plus random feasible fills of varying
+	// intensity.
+	members := make([]*diversity.Assignment, 0, popSize)
+	members = append(members, p.base())
+	for len(members) < popSize {
+		a := p.base()
+		k := 1 + r.Intn(max(1, len(p.Options)/3))
+		for j := 0; j < k; j++ {
+			p.Options[r.Intn(len(p.Options))].Apply(a)
+		}
+		ms.repair(a, r)
+		members = append(members, a)
+	}
+	pop, err := score(members)
+	if err != nil {
+		return nil, err
+	}
+	rank := func() {
+		slices.SortFunc(pop, func(x, y indiv) int {
+			if c := cmp.Compare(x.s.Value, y.s.Value); c != 0 {
+				return c
+			}
+			return cmp.Compare(x.fp, y.fp)
+		})
+	}
+	tournament := func() indiv {
+		best := pop[r.Intn(len(pop))]
+		for i := 1; i < tk; i++ {
+			c := pop[r.Intn(len(pop))]
+			if c.s.Value < best.s.Value || (c.s.Value == best.s.Value && c.fp < best.fp) {
+				best = c
+			}
+		}
+		return best
+	}
+	trace := make([]TraceStep, 0, gens)
+	for gen := 0; gen < gens; gen++ {
+		rank()
+		trace = append(trace, TraceStep{
+			Iter:   gen,
+			Action: fmt.Sprintf("generation %d: best %016x", gen, pop[0].fp),
+			Cost:   pop[0].s.Cost, Value: pop[0].s.Value, Best: pop[0].s.Value,
+			Accepted: true,
+		})
+		next := make([]*diversity.Assignment, 0, popSize)
+		for i := 0; i < elite; i++ {
+			next = append(next, pop[i].a.Clone())
+		}
+		for len(next) < popSize {
+			p1, p2 := tournament(), tournament()
+			child := crossover(p1.a, p2.a, r)
+			if r.Bool(mutProb) {
+				ms.mutate(child, r)
+			}
+			ms.repair(child, r)
+			next = append(next, child)
+		}
+		if pop, err = score(next); err != nil {
+			return nil, err
+		}
+	}
+	rank()
+	trace = append(trace, TraceStep{
+		Iter:   gens,
+		Action: fmt.Sprintf("final: best %016x", pop[0].fp),
+		Cost:   pop[0].s.Cost, Value: pop[0].s.Value, Best: pop[0].s.Value,
+		Accepted: true,
+	})
+	return trace, nil
+}
+
+// crossover recombines two overlays uniformly: for every (node, class)
+// decided by either parent, the child inherits one parent's state —
+// including "absent" (topology default). Keys are visited in canonical
+// order so recombination is deterministic.
+func crossover(a, b *diversity.Assignment, r *rng.Rand) *diversity.Assignment {
+	child := diversity.NewAssignment()
+	ea, eb := a.Entries(), b.Entries()
+	i, j := 0, 0
+	take := func(e diversity.Entry, from *diversity.Assignment) {
+		if v, ok := from.Lookup(e.Node, e.Class); ok {
+			child.Set(e.Node, e.Class, v)
+		}
+	}
+	for i < len(ea) || j < len(eb) {
+		var e diversity.Entry
+		switch {
+		case j >= len(eb):
+			e = ea[i]
+			i++
+		case i >= len(ea):
+			e = eb[j]
+			j++
+		default:
+			switch c := cmp.Compare(ea[i].Node, eb[j].Node); {
+			case c < 0 || (c == 0 && ea[i].Class < eb[j].Class):
+				e = ea[i]
+				i++
+			case c > 0 || (c == 0 && ea[i].Class > eb[j].Class):
+				e = eb[j]
+				j++
+			default: // same (node, class) in both parents
+				e = ea[i]
+				i++
+				j++
+			}
+		}
+		if r.Bool(0.5) {
+			take(e, a)
+		} else {
+			take(e, b)
+		}
+	}
+	return child
+}

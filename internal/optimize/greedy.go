@@ -1,0 +1,80 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"diversify/internal/diversity"
+	"diversify/internal/rng"
+)
+
+// Greedy is marginal-gain placement: every round it tentatively applies
+// each affordable option to the incumbent, keeps the one with the best
+// objective-improvement-per-unit-cost ratio, and stops when no affordable
+// option improves the objective (or the round bound is hit). With a
+// memoizing evaluator each round costs at most |Options| simulations.
+type Greedy struct{}
+
+// Name implements Optimizer.
+func (*Greedy) Name() string { return "greedy" }
+
+// Search implements Optimizer. Greedy is deterministic and ignores r.
+func (*Greedy) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
+	current := p.base()
+	cur, err := ev.Score(current)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := p.Iterations
+	if maxRounds <= 0 {
+		maxRounds = len(p.Options)
+	}
+	nodes := p.Topo.Nodes()
+	var trace []TraceStep
+	for round := 0; round < maxRounds; round++ {
+		bestIdx := -1
+		bestRatio := 0.0
+		var bestScore Score
+		for i, opt := range p.Options {
+			// Skip no-ops: the node already runs this variant.
+			if v, ok := diversity.EffectiveVariant(current, nodes[opt.Node], opt.Class); ok && v == opt.Variant {
+				continue
+			}
+			prev, had := current.Lookup(opt.Node, opt.Class)
+			opt.Apply(current)
+			cost := ev.Cost(current)
+			if cost <= p.Budget+budgetEps {
+				s, err := ev.Score(current)
+				if err != nil {
+					return nil, err
+				}
+				if gain := cur.Value - s.Value; gain > 0 {
+					ratio := gain / math.Max(cost-cur.Cost, 1e-9)
+					if bestIdx == -1 || ratio > bestRatio {
+						bestIdx, bestRatio, bestScore = i, ratio, s
+					}
+				}
+			}
+			if had {
+				current.Set(opt.Node, opt.Class, prev)
+			} else {
+				current.Unset(opt.Node, opt.Class)
+			}
+		}
+		if bestIdx == -1 {
+			break // no affordable option improves the objective
+		}
+		chosen := p.Options[bestIdx]
+		chosen.Apply(current)
+		cur = bestScore
+		trace = append(trace, TraceStep{
+			Iter:     round,
+			Action:   fmt.Sprintf("apply %s:%s=%s", nodes[chosen.Node].Name, chosen.Class, chosen.Variant),
+			Cost:     cur.Cost,
+			Value:    cur.Value,
+			Best:     cur.Value,
+			Accepted: true,
+		})
+	}
+	return trace, nil
+}

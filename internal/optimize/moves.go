@@ -1,0 +1,139 @@
+package optimize
+
+import (
+	"fmt"
+	"slices"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/rng"
+	"diversify/internal/topology"
+)
+
+// classVariant keys the relocation index.
+type classVariant struct {
+	class   exploits.Class
+	variant exploits.VariantID
+}
+
+// moveSpace precomputes the neighborhood structure annealing and the
+// genetic mutator draw moves from: the flat option list, the nodes
+// carrying each class, and the nodes each (class, variant) can go to.
+type moveSpace struct {
+	p       *Problem
+	classes []exploits.Class // sorted, classes present in the option space
+	byClass map[exploits.Class][]topology.NodeID
+	byCV    map[classVariant][]topology.NodeID
+}
+
+func newMoveSpace(p *Problem) *moveSpace {
+	ms := &moveSpace{
+		p:       p,
+		byClass: map[exploits.Class][]topology.NodeID{},
+		byCV:    map[classVariant][]topology.NodeID{},
+	}
+	type classNode struct {
+		class exploits.Class
+		node  topology.NodeID
+	}
+	seen := map[classNode]bool{}
+	for _, opt := range p.Options {
+		cn := classNode{opt.Class, opt.Node}
+		if !seen[cn] {
+			seen[cn] = true
+			ms.byClass[opt.Class] = append(ms.byClass[opt.Class], opt.Node)
+		}
+		cv := classVariant{opt.Class, opt.Variant}
+		ms.byCV[cv] = append(ms.byCV[cv], opt.Node)
+		if !slices.Contains(ms.classes, opt.Class) {
+			ms.classes = append(ms.classes, opt.Class)
+		}
+	}
+	slices.Sort(ms.classes)
+	// Options are sorted, so the per-key node lists are already in
+	// ascending order — the move draws are deterministic.
+	return ms
+}
+
+// mutate applies one random neighbor move to a in place and returns a
+// human-readable description. Moves: upgrade (install a random option),
+// drop (remove a random overlay decision), relocate (move a decision to
+// another eligible node), swap (exchange two nodes' decisions for a
+// class). Degenerate cases fall back to upgrade so every call mutates.
+func (ms *moveSpace) mutate(a *diversity.Assignment, r *rng.Rand) string {
+	nodes := ms.p.Topo.Nodes()
+	switch r.Intn(4) {
+	case 1: // drop
+		entries := a.Entries()
+		if len(entries) == 0 {
+			break
+		}
+		e := entries[r.Intn(len(entries))]
+		a.Unset(e.Node, e.Class)
+		return fmt.Sprintf("drop %s:%s", nodes[e.Node].Name, e.Class)
+	case 2: // relocate
+		entries := a.Entries()
+		if len(entries) == 0 {
+			break
+		}
+		e := entries[r.Intn(len(entries))]
+		targets := ms.byCV[classVariant{e.Class, e.Variant}]
+		// Exclude the current holder.
+		pool := make([]topology.NodeID, 0, len(targets))
+		for _, t := range targets {
+			if t != e.Node {
+				pool = append(pool, t)
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		to := pool[r.Intn(len(pool))]
+		a.Unset(e.Node, e.Class)
+		a.Set(to, e.Class, e.Variant)
+		return fmt.Sprintf("relocate %s %s→%s=%s", e.Class, nodes[e.Node].Name, nodes[to].Name, e.Variant)
+	case 3: // swap
+		class := ms.classes[r.Intn(len(ms.classes))]
+		carriers := ms.byClass[class]
+		if len(carriers) >= 2 {
+			i := r.Intn(len(carriers))
+			j := r.Intn(len(carriers) - 1)
+			if j >= i {
+				j++
+			}
+			n1, n2 := carriers[i], carriers[j]
+			v1, has1 := a.Lookup(n1, class)
+			v2, has2 := a.Lookup(n2, class)
+			if has1 || has2 { // swapping two defaults is a no-op
+				if has2 {
+					a.Set(n1, class, v2)
+				} else {
+					a.Unset(n1, class)
+				}
+				if has1 {
+					a.Set(n2, class, v1)
+				} else {
+					a.Unset(n2, class)
+				}
+				return fmt.Sprintf("swap %s %s↔%s", class, nodes[n1].Name, nodes[n2].Name)
+			}
+		}
+	}
+	// upgrade (case 0 and every fallback)
+	opt := ms.p.Options[r.Intn(len(ms.p.Options))]
+	opt.Apply(a)
+	return fmt.Sprintf("set %s:%s=%s", nodes[opt.Node].Name, opt.Class, opt.Variant)
+}
+
+// repair removes random overlay decisions until the assignment fits the
+// budget (used after genetic crossover/mutation).
+func (ms *moveSpace) repair(a *diversity.Assignment, r *rng.Rand) {
+	for ms.p.Cost.Cost(ms.p.Topo, a) > ms.p.Budget+budgetEps {
+		entries := a.Entries()
+		if len(entries) == 0 {
+			return
+		}
+		e := entries[r.Intn(len(entries))]
+		a.Unset(e.Node, e.Class)
+	}
+}

@@ -1,0 +1,409 @@
+// Package optimize is the decision layer on top of the measurement
+// pipeline: given a topology, a threat profile and a budget, it searches
+// the space of diversity.Assignments for the one that minimizes attack
+// success (or maximizes time-to-security-failure), using the Monte-Carlo
+// campaign engine itself as the objective function.
+//
+// The paper's ANOVA step tells you WHICH component classes are worth
+// diversifying; this package decides WHERE the scarce resilient variants
+// go — the budget-constrained assignment optimization that Li et al.
+// ("Improving ICS Cyber Resilience through Optimal Diversification of
+// Network Resources") and Laszka et al. formalize. Three pluggable
+// strategies share one Optimizer interface: greedy marginal-gain
+// placement, simulated annealing over neighbor moves (upgrade / drop /
+// relocate / swap a node's variant), and a genetic search with crossover
+// over node-variant overlays. All of them drive a shared Evaluator that
+// fans replications out over a pool of workers with per-worker reusable
+// campaigns and per-replication seeded RNG streams (common random numbers
+// across candidates), memoizing scores by assignment fingerprint so an
+// identical candidate is never re-simulated.
+//
+// Every search is deterministic for a given (Problem, strategy, Seed)
+// regardless of the worker count.
+package optimize
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/malware"
+	"diversify/internal/rng"
+	"diversify/internal/topology"
+)
+
+// ErrBadProblem reports an invalid optimization request.
+var ErrBadProblem = errors.New("optimize: invalid problem")
+
+// Objective selects the scalar the search minimizes.
+type Objective int
+
+// Supported objectives.
+const (
+	// MinimizeSuccess minimizes the attack-success probability; the mean
+	// final compromised ratio breaks ties at 1e-3 weight (success rate has
+	// resolution 1/reps, the ratio refines between those steps).
+	MinimizeSuccess Objective = iota + 1
+	// MinimizeRatio minimizes the mean final compromised ratio.
+	MinimizeRatio
+	// MaximizeTTSF maximizes the mean time-to-security-failure (censored
+	// at the horizon), i.e. minimizes its negation.
+	MaximizeTTSF
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinimizeSuccess:
+		return "min-success"
+	case MinimizeRatio:
+		return "min-ratio"
+	case MaximizeTTSF:
+		return "max-ttsf"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Problem is one budget-constrained placement optimization.
+type Problem struct {
+	Topo    *topology.Topology
+	Catalog *exploits.Catalog
+	Profile malware.Profile
+	// Base is the starting overlay (nil = topology defaults everywhere).
+	Base *diversity.Assignment
+	// Options is the search space: the feasible (node, class, variant)
+	// switches, typically diversity.EnumerateOptions output.
+	Options []diversity.Option
+	// Cost prices an assignment; Budget caps Cost(Topo, candidate).
+	Cost   diversity.CostModel
+	Budget float64
+	// Objective selects the minimized scalar (default MinimizeSuccess).
+	Objective Objective
+	// Horizon is the campaign observation window in hours (default 720).
+	Horizon float64
+	// Reps is the Monte-Carlo replication count per candidate (default 50).
+	Reps int
+	// Workers bounds evaluation parallelism (<= 0 → GOMAXPROCS).
+	Workers int
+	// Seed drives every random choice: evaluation streams, strategy
+	// moves, the random-fill comparison baseline.
+	Seed uint64
+	// Iterations bounds the search: annealing proposals, genetic
+	// generations, greedy rounds (0 = strategy default).
+	Iterations int
+	// Population is the genetic population size (0 = default 16).
+	Population int
+	// FirewallVariant optionally overrides every firewalled link.
+	FirewallVariant exploits.VariantID
+}
+
+// normalize fills defaults in place.
+func (p *Problem) normalize() {
+	if p.Objective == 0 {
+		p.Objective = MinimizeSuccess
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 720
+	}
+	if p.Reps <= 0 {
+		p.Reps = 50
+	}
+	if p.Population <= 0 {
+		p.Population = 16
+	}
+}
+
+// validate checks the problem after normalization.
+func (p *Problem) validate() error {
+	if p.Topo == nil || p.Catalog == nil {
+		return fmt.Errorf("%w: topology and catalog are required", ErrBadProblem)
+	}
+	if err := p.Profile.Validate(); err != nil {
+		return err
+	}
+	if len(p.Options) == 0 {
+		return fmt.Errorf("%w: empty option space", ErrBadProblem)
+	}
+	if p.Budget < 0 || math.IsNaN(p.Budget) {
+		return fmt.Errorf("%w: budget %v", ErrBadProblem, p.Budget)
+	}
+	switch p.Objective {
+	case MinimizeSuccess, MinimizeRatio, MaximizeTTSF:
+	default:
+		return fmt.Errorf("%w: unknown objective %d", ErrBadProblem, int(p.Objective))
+	}
+	return nil
+}
+
+// base returns the starting assignment (never nil).
+func (p *Problem) base() *diversity.Assignment {
+	if p.Base != nil {
+		return p.Base.Clone()
+	}
+	return diversity.NewAssignment()
+}
+
+// Score is one evaluated candidate's measurements.
+type Score struct {
+	// Value is the minimized scalar under the problem objective.
+	Value float64 `json:"value"`
+	// PSuccess is the attack-success fraction over the replications.
+	PSuccess float64 `json:"p_success"`
+	// MeanTTSF is the mean time-to-security-failure, censored at the
+	// horizon for undetected replications.
+	MeanTTSF float64 `json:"mean_ttsf"`
+	// FinalRatio is the mean compromised ratio at the horizon.
+	FinalRatio float64 `json:"final_ratio"`
+	// Cost is the cost-model price of the candidate.
+	Cost float64 `json:"cost"`
+}
+
+// TraceStep is one recorded search step. The trace is part of the
+// deterministic contract: same seed and configuration reproduce it
+// byte for byte.
+type TraceStep struct {
+	Iter     int     `json:"iter"`
+	Action   string  `json:"action"`
+	Cost     float64 `json:"cost"`
+	Value    float64 `json:"value"`
+	Best     float64 `json:"best"`
+	Accepted bool    `json:"accepted"`
+}
+
+// Decision is one human-readable placement decision of the winning
+// assignment.
+type Decision struct {
+	Node    string `json:"node"`
+	Class   string `json:"class"`
+	Variant string `json:"variant"`
+}
+
+// ParetoPoint is one non-dominated (cost, value) candidate discovered
+// during the search.
+type ParetoPoint struct {
+	Cost        float64    `json:"cost"`
+	Value       float64    `json:"value"`
+	PSuccess    float64    `json:"p_success"`
+	FinalRatio  float64    `json:"final_ratio"`
+	Fingerprint uint64     `json:"fingerprint"`
+	Decisions   []Decision `json:"decisions"`
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	Strategy  string  `json:"strategy"`
+	Objective string  `json:"objective"`
+	Budget    float64 `json:"budget"`
+	// Baseline scores the starting assignment; Random scores a uniform
+	// random feasible fill at the same budget (the PlaceRandom-style
+	// comparison the paper's case study argues against).
+	Baseline Score `json:"baseline"`
+	Random   Score `json:"random"`
+	// Best is the best feasible candidate the search evaluated (never
+	// worse than Baseline, which is itself a candidate).
+	Best            Score      `json:"best"`
+	BestFingerprint uint64     `json:"best_fingerprint"`
+	Decisions       []Decision `json:"decisions"`
+	// BestAssignment is the winning overlay (not serialized; Decisions is
+	// the portable form).
+	BestAssignment *diversity.Assignment `json:"-"`
+	Trace          []TraceStep           `json:"trace"`
+	Pareto         []ParetoPoint         `json:"pareto"`
+	// Cache and effort accounting: Evaluations counts simulated
+	// candidates (== CacheMisses), Replications total campaign runs.
+	CacheHits    int `json:"cache_hits"`
+	CacheMisses  int `json:"cache_misses"`
+	Evaluations  int `json:"evaluations"`
+	Replications int `json:"replications"`
+}
+
+// Optimizer is one pluggable search strategy. Search explores the space
+// by calling ev.Score (memoized, budget-blind — strategies must check
+// ev.Cost themselves) and returns its step trace; Run extracts the best
+// feasible candidate from the evaluator archive afterwards.
+type Optimizer interface {
+	Name() string
+	Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error)
+}
+
+// ByName returns the named strategy ("greedy", "anneal" or "genetic").
+func ByName(name string) (Optimizer, error) {
+	switch name {
+	case "greedy":
+		return &Greedy{}, nil
+	case "anneal":
+		return &Anneal{}, nil
+	case "genetic":
+		return &Genetic{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %q (want greedy, anneal or genetic)", ErrBadProblem, name)
+	}
+}
+
+// Run executes one optimization: baseline evaluation, strategy search,
+// best-candidate extraction, Pareto front and the random-fill comparison
+// baseline.
+func Run(p Problem, o Optimizer) (*Result, error) {
+	p.normalize()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if o == nil {
+		return nil, fmt.Errorf("%w: nil strategy", ErrBadProblem)
+	}
+	ev, err := newEvaluator(&p)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := ev.Score(p.base())
+	if err != nil {
+		return nil, err
+	}
+	trace, err := o.Search(&p, ev, newSearchRand(p.Seed, o.Name()))
+	if err != nil {
+		return nil, err
+	}
+	best, bestA, bestFP := ev.bestFeasible(p.Budget)
+	if bestA == nil {
+		// The baseline is always archived, so this means even the starting
+		// assignment exceeds the budget — a zero-valued Best would read as
+		// a perfect free placement.
+		return nil, fmt.Errorf("%w: no feasible candidate — base assignment costs %.2f against budget %.2f",
+			ErrBadProblem, baseline.Cost, p.Budget)
+	}
+	// Snapshot the effort accounting before the comparison row below, so
+	// the random baseline's simulation is not billed to the strategy.
+	hits, misses := ev.hits, ev.misses
+	// The random baseline is evaluated outside the archive so "best found
+	// by the strategy" never silently points at the comparison row.
+	mark := len(ev.archive)
+	random, err := ev.Score(randomFill(&p, newSearchRand(p.Seed, "random-baseline")))
+	if err != nil {
+		return nil, err
+	}
+	ev.archive = ev.archive[:mark]
+	res := &Result{
+		Strategy:        o.Name(),
+		Objective:       p.Objective.String(),
+		Budget:          p.Budget,
+		Baseline:        baseline,
+		Random:          random,
+		Best:            best,
+		BestFingerprint: bestFP,
+		BestAssignment:  bestA,
+		Decisions:       decisionsOf(p.Topo, bestA),
+		Trace:           trace,
+		Pareto:          paretoFront(&p, ev),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		Evaluations:     misses,
+		Replications:    misses * p.Reps,
+	}
+	return res, nil
+}
+
+// decisionsOf renders an assignment's overlay entries with node names.
+func decisionsOf(t *topology.Topology, a *diversity.Assignment) []Decision {
+	if a == nil {
+		return nil
+	}
+	nodes := t.Nodes()
+	entries := a.Entries()
+	out := make([]Decision, len(entries))
+	for i, e := range entries {
+		out[i] = Decision{
+			Node:    nodes[e.Node].Name,
+			Class:   e.Class.String(),
+			Variant: string(e.Variant),
+		}
+	}
+	return out
+}
+
+// paretoFront extracts the non-dominated feasible (cost, value) set from
+// the evaluator archive, sorted by cost ascending.
+func paretoFront(p *Problem, ev *Evaluator) []ParetoPoint {
+	cands := make([]candidate, 0, len(ev.archive))
+	for _, c := range ev.archive {
+		if c.score.Cost <= p.Budget+budgetEps {
+			cands = append(cands, c)
+		}
+	}
+	slices.SortFunc(cands, func(a, b candidate) int {
+		if c := cmp.Compare(a.score.Cost, b.score.Cost); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.score.Value, b.score.Value); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.fingerprint, b.fingerprint)
+	})
+	var front []ParetoPoint
+	bestSoFar := math.Inf(1)
+	for _, c := range cands {
+		if c.score.Value >= bestSoFar {
+			continue
+		}
+		bestSoFar = c.score.Value
+		front = append(front, ParetoPoint{
+			Cost:        c.score.Cost,
+			Value:       c.score.Value,
+			PSuccess:    c.score.PSuccess,
+			FinalRatio:  c.score.FinalRatio,
+			Fingerprint: c.fingerprint,
+			Decisions:   decisionsOf(p.Topo, c.assignment),
+		})
+	}
+	return front
+}
+
+// budgetEps absorbs float accumulation error in cost comparisons.
+const budgetEps = 1e-9
+
+// randomFill applies resilience-improving options in uniformly random
+// order, keeping every one that stays within budget — the PlaceRandom
+// policy ("spread hardening at random") the case study compares against
+// strategic placement. The full option space also contains sideways and
+// downgrade switches the search may traverse; a random baseline drawing
+// those would be a strawman, so only upgrades qualify here.
+func randomFill(p *Problem, r *rng.Rand) *diversity.Assignment {
+	a := p.base()
+	upgrades := upgradeOptions(p)
+	order := r.Perm(len(upgrades))
+	for _, idx := range order {
+		opt := upgrades[idx]
+		prev, had := a.Lookup(opt.Node, opt.Class)
+		opt.Apply(a)
+		if p.Cost.Cost(p.Topo, a) > p.Budget+budgetEps {
+			if had {
+				a.Set(opt.Node, opt.Class, prev)
+			} else {
+				a.Unset(opt.Node, opt.Class)
+			}
+		}
+	}
+	return a
+}
+
+// upgradeOptions filters the option space to switches that strictly
+// increase the node's variant resilience over its topology default.
+func upgradeOptions(p *Problem) []diversity.Option {
+	nodes := p.Topo.Nodes()
+	var out []diversity.Option
+	for _, opt := range p.Options {
+		def, ok := nodes[opt.Node].Components[opt.Class]
+		if !ok {
+			continue
+		}
+		dv, okD := p.Catalog.Variant(def)
+		nv, okN := p.Catalog.Variant(opt.Variant)
+		if okD && okN && nv.Resilience > dv.Resilience {
+			out = append(out, opt)
+		}
+	}
+	return out
+}
