@@ -8,6 +8,7 @@
 //
 //	optimize -topo powergrid -strategy anneal -budget 40 -iterations 300 -seed 7
 //	optimize -strategy genetic -classes OS,Protocol -json
+//	optimize -topo grid:200 -classes PLC,Protocol -reps 8 -iterations 2 -budget 20
 package main
 
 import (
@@ -31,10 +32,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	var (
-		topo      = fs.String("topo", "tiered", "topology: tiered, powergrid")
+		topo      = fs.String("topo", "tiered", "topology: tiered, powergrid, or grid:N[:regions] (generated N-substation meshed grid)")
 		threat    = fs.String("threat", "stuxnet", "threat profile: stuxnet, duqu, flame")
-		strategy  = fs.String("strategy", "greedy", "search strategy: greedy, anneal, genetic")
-		classes   = fs.String("classes", "OS,PLC,Protocol", "comma-separated component classes (OS, PLC, Protocol, HMI, EngTools)")
+		strategy  = fs.String("strategy", "greedy", "search strategy: greedy, anneal, genetic, portfolio")
+		classes   = fs.String("classes", "OS,PLC,Protocol", "comma-separated component classes (OS, PLC, Protocol, HMI, EngTools, Historian)")
 		objective = fs.String("objective", "success", "minimized indicator: success, ratio, ttsf")
 		budget    = fs.Float64("budget", 40, "diversification budget (cost-model units)")
 		platform  = fs.Float64("platform-cost", 5, "cost per extra distinct variant per class")

@@ -106,3 +106,43 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// The grid:N selector must build the generated meshed grid and complete
+// a bounded greedy search end to end; malformed selectors must error.
+func TestGridTopologySelector(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-topo", "grid:40", "-strategy", "greedy", "-classes", "PLC,Protocol",
+		"-budget", "12", "-reps", "4", "-horizon", "120", "-iterations", "1", "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best-found") {
+		t.Fatalf("grid run produced no report:\n%s", buf.String())
+	}
+	for _, bad := range []string{"grid:", "grid:0", "grid:-5", "grid:abc", "grid:10:0", "grid:10:x"} {
+		if err := run([]string{"-topo", bad, "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+			t.Errorf("topo %q: expected error", bad)
+		}
+	}
+}
+
+// The portfolio strategy is selectable from the CLI and reports all
+// three stage prefixes in its JSON trace.
+func TestPortfolioStrategyCLI(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-topo", "powergrid", "-strategy", "portfolio", "-budget", "12",
+		"-reps", "4", "-horizon", "120", "-iterations", "6", "-seed", "2", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, stage := range []string{"greedy: ", "anneal: ", "genetic: "} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("portfolio trace missing %q stage", stage)
+		}
+	}
+}

@@ -41,6 +41,8 @@ package diversify
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"diversify/internal/anova"
 	"diversify/internal/core"
@@ -189,16 +191,20 @@ type (
 // OptimizeConfig parameterizes the step-4 placement optimization on a
 // built-in reference topology.
 type OptimizeConfig struct {
-	// Topology selects the plant: "tiered" (default) or "powergrid".
+	// Topology selects the plant: "tiered" (default), "powergrid", or a
+	// generated meshed transmission grid "grid:N" with N substations
+	// (optionally "grid:N:R" to pin the region count; default one region
+	// per 25 substations). "grid:200" builds ~1200 nodes.
 	Topology string
 	// Threat selects the profile: "stuxnet" (default), "duqu", "flame".
 	Threat string
 	// Strategy selects the search: "greedy" (default), "anneal",
-	// "genetic".
+	// "genetic", or "portfolio" (greedy, then annealing and genetic
+	// seeded from the greedy solution, best of all three).
 	Strategy string
 	// Classes are the diversifiable component classes by factor name
-	// ("OS", "PLC", "Protocol", "HMI", "EngTools"); default OS + PLC +
-	// Protocol.
+	// ("OS", "PLC", "Protocol", "HMI", "EngTools", "Historian"); default
+	// OS + PLC + Protocol.
 	Classes []string
 	// Objective selects the minimized indicator: "success" (default,
 	// attack-success probability), "ratio" (final compromised ratio) or
@@ -224,13 +230,43 @@ type OptimizeConfig struct {
 	Workers      int
 }
 
+// buildTopology resolves a topology selector: the named reference plants
+// or a generated meshed grid ("grid:N" / "grid:N:R", N substations in R
+// regions).
+func buildTopology(sel string) (*topology.Topology, error) {
+	switch sel {
+	case "", "tiered":
+		return topology.NewTieredSCADA(topology.DefaultTieredSpec()), nil
+	case "powergrid":
+		return topology.NewPowerGrid(topology.DefaultPowerGridSpec()), nil
+	}
+	if rest, ok := strings.CutPrefix(sel, "grid:"); ok {
+		subsStr, regionsStr, pinned := strings.Cut(rest, ":")
+		subs, err := strconv.Atoi(subsStr)
+		if err != nil || subs <= 0 {
+			return nil, fmt.Errorf("diversify: topology %q: substation count must be a positive integer", sel)
+		}
+		spec := topology.DefaultMeshedGridSpec(subs)
+		if pinned {
+			regions, err := strconv.Atoi(regionsStr)
+			if err != nil || regions <= 0 {
+				return nil, fmt.Errorf("diversify: topology %q: region count must be a positive integer", sel)
+			}
+			spec.Regions = regions
+		}
+		return topology.NewMeshedGrid(spec), nil
+	}
+	return nil, fmt.Errorf("diversify: unknown topology %q (want tiered, powergrid or grid:N[:regions])", sel)
+}
+
 // optimizeClasses maps factor names to component classes.
 var optimizeClasses = map[string]exploits.Class{
-	"OS":       exploits.ClassOS,
-	"PLC":      exploits.ClassPLCFirmware,
-	"Protocol": exploits.ClassProtocol,
-	"HMI":      exploits.ClassHMISoftware,
-	"EngTools": exploits.ClassEngTools,
+	"OS":        exploits.ClassOS,
+	"PLC":       exploits.ClassPLCFirmware,
+	"Protocol":  exploits.ClassProtocol,
+	"HMI":       exploits.ClassHMISoftware,
+	"EngTools":  exploits.ClassEngTools,
+	"Historian": exploits.ClassHistorian,
 }
 
 // Optimize runs the step-4 placement search: it looks for the assignment
@@ -241,14 +277,9 @@ var optimizeClasses = map[string]exploits.Class{
 // control system proper — hardening the attacker's entry PCs is not a
 // defense the paper considers.
 func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
-	var topo *topology.Topology
-	switch cfg.Topology {
-	case "", "tiered":
-		topo = topology.NewTieredSCADA(topology.DefaultTieredSpec())
-	case "powergrid":
-		topo = topology.NewPowerGrid(topology.DefaultPowerGridSpec())
-	default:
-		return nil, fmt.Errorf("diversify: unknown topology %q (want tiered or powergrid)", cfg.Topology)
+	topo, err := buildTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
 	}
 	profiles := ThreatProfiles()
 	threat := cfg.Threat

@@ -36,10 +36,14 @@ type Payload struct {
 	P    float64
 }
 
-// Event is a scheduled callback. A fired or cancelled event is inert.
+// Event is one arena slot holding a scheduled callback. A fired or
+// cancelled event is inert until Reset recycles its slot for the next
+// epoch. Callers hold Handles, never *Events: the epoch tag is what lets
+// Reset reuse slots while handles issued before the Reset stay inert.
 type Event struct {
 	time      float64
 	seq       uint64
+	epoch     uint64
 	index     int // heap index; -1 when not queued
 	fn        func()
 	pfn       func(Payload) // payload callback (fn and pfn are exclusive)
@@ -47,21 +51,58 @@ type Event struct {
 	cancelled bool
 }
 
-// Time returns the virtual time this event is (or was) scheduled for.
-func (e *Event) Time() float64 { return e.time }
-
-// Cancel removes the event from the pending set. Cancelling an event that
-// already fired or was already cancelled is a no-op. The callback is
-// released immediately so a cancelled event pinned by the allocation
-// arena does not keep its closure alive.
-func (e *Event) Cancel() {
+// cancel marks the slot inert. The callback is released immediately so a
+// cancelled event pinned by the allocation arena does not keep its
+// closure alive.
+func (e *Event) cancel() {
 	e.cancelled = true
 	e.fn = nil
 	e.pfn = nil
 }
 
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Handle refers to one scheduled event; Schedule and friends return it
+// and Cancel consumes it. Handles are small values, cheap to copy and
+// store. The zero Handle is inert. A handle issued before the last
+// Sim.Reset is stale — its slot may since have been recycled for a
+// different event — and every method treats it as referring to a dead
+// event, so forgotten handles from past replications cannot corrupt the
+// current one.
+type Handle struct {
+	e     *Event
+	epoch uint64
+}
+
+// live reports whether the handle still refers to the event it was
+// issued for (the slot has not been recycled by a Reset).
+func (h Handle) live() bool { return h.e != nil && h.e.epoch == h.epoch }
+
+// Time returns the virtual time the event is (or was) scheduled for; a
+// stale or zero handle returns 0.
+func (h Handle) Time() float64 {
+	if !h.live() {
+		return 0
+	}
+	return h.e.time
+}
+
+// Cancel removes the event from the pending set. Cancelling an event
+// that already fired, was already cancelled, or belongs to an epoch
+// ended by Reset is a no-op.
+func (h Handle) Cancel() {
+	if h.live() {
+		h.e.cancel()
+	}
+}
+
+// Cancelled reports whether the event can no longer fire as scheduled:
+// explicitly cancelled, or stale (issued before the last Reset). Fired
+// events report false, matching the pre-epoch semantics.
+func (h Handle) Cancelled() bool {
+	if !h.live() {
+		return true
+	}
+	return h.e.cancelled
+}
 
 type eventHeap []*Event
 
@@ -100,26 +141,51 @@ type Sim struct {
 	pending eventHeap
 	stopped bool
 	fired   uint64
-	// arena batches Event allocations: each slot is handed out exactly
-	// once, so event handles keep their documented semantics (a fired or
-	// cancelled event stays inert) while Schedule costs one heap
-	// allocation per eventArenaSize events instead of one per event.
-	arena []Event
+	// epoch counts Resets; handles record the epoch they were issued in
+	// so handles from pre-Reset epochs stay inert when slots recycle.
+	epoch uint64
+	arena eventArena
 }
 
-// eventArenaSize is the Event allocation batch; campaigns fire thousands
+// eventArenaSize is the Event allocation block; campaigns fire thousands
 // of events, so batching removes ~all per-event allocations without
 // holding meaningfully more memory for short simulations.
 const eventArenaSize = 128
 
+// eventArena batches Event allocations in fixed-size blocks. Blocks are
+// never reallocated (pointers into them stay valid for the Sim's
+// lifetime); Reset rewinds the cursor so the next epoch hands the same
+// slots out again. Within one epoch every slot is handed out at most
+// once, preserving handle semantics (a fired or cancelled event stays
+// inert until the epoch ends). A steady-state Reset+run cycle therefore
+// allocates nothing: growth happens only when an epoch schedules more
+// events than any epoch before it.
+type eventArena struct {
+	blocks      [][]Event
+	block, slot int
+}
+
+// next hands out the next slot, growing by one block when the cursor
+// runs past every existing block.
+func (a *eventArena) next() *Event {
+	if a.block == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]Event, eventArenaSize))
+	}
+	e := &a.blocks[a.block][a.slot]
+	a.slot++
+	if a.slot == eventArenaSize {
+		a.block++
+		a.slot = 0
+	}
+	return e
+}
+
+// rewind restarts the hand-out sequence at the first slot.
+func (a *eventArena) rewind() { a.block, a.slot = 0, 0 }
+
 // newEvent hands out the next arena slot.
 func (s *Sim) newEvent() *Event {
-	if len(s.arena) == 0 {
-		s.arena = make([]Event, eventArenaSize)
-	}
-	e := &s.arena[0]
-	s.arena = s.arena[1:]
-	return e
+	return s.arena.next()
 }
 
 // NewSim returns a simulator with the clock at zero.
@@ -127,9 +193,10 @@ func NewSim() *Sim { return &Sim{} }
 
 // Reset returns the simulator to its initial state — clock at zero, no
 // pending events — so it can be reused for another run without
-// reallocating. Outstanding Event handles become inert (their slots are
-// never handed out again); the pending heap's backing array and the
-// allocation arena are retained.
+// reallocating. The epoch counter advances, so Handles issued before the
+// Reset become inert; the pending heap's backing array and the
+// allocation arena (whose slots are now recycled) are retained, making a
+// steady-state Reset+run cycle free of des allocations.
 func (s *Sim) Reset() {
 	for i := range s.pending {
 		s.pending[i].fn = nil
@@ -141,6 +208,8 @@ func (s *Sim) Reset() {
 	s.seq = 0
 	s.fired = 0
 	s.stopped = false
+	s.epoch++
+	s.arena.rewind()
 }
 
 // Now returns the current virtual time.
@@ -163,7 +232,7 @@ func (s *Sim) Pending() int {
 // Schedule enqueues fn to run after delay units of virtual time and
 // returns the event handle (usable to Cancel). It panics on negative or
 // NaN delays — a scheduling bug, not a runtime condition.
-func (s *Sim) Schedule(delay float64, fn func()) *Event {
+func (s *Sim) Schedule(delay float64, fn func()) Handle {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("des: invalid delay %v", delay))
 	}
@@ -171,15 +240,15 @@ func (s *Sim) Schedule(delay float64, fn func()) *Event {
 }
 
 // ScheduleAt enqueues fn to run at absolute virtual time t (>= Now).
-func (s *Sim) ScheduleAt(t float64, fn func()) *Event {
+func (s *Sim) ScheduleAt(t float64, fn func()) Handle {
 	if t < s.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", t, s.now))
 	}
 	e := s.newEvent()
-	*e = Event{time: t, seq: s.seq, fn: fn, index: -1}
+	*e = Event{time: t, seq: s.seq, epoch: s.epoch, fn: fn, index: -1}
 	s.seq++
 	heap.Push(&s.pending, e)
-	return e
+	return Handle{e: e, epoch: s.epoch}
 }
 
 // SchedulePayload enqueues fn(arg) to run after delay units of virtual
@@ -187,15 +256,15 @@ func (s *Sim) ScheduleAt(t float64, fn func()) *Event {
 // events and arg a small identifier, so — unlike Schedule with a fresh
 // closure — the call captures nothing and allocates nothing beyond the
 // arena slot.
-func (s *Sim) SchedulePayload(delay float64, fn func(Payload), arg Payload) *Event {
+func (s *Sim) SchedulePayload(delay float64, fn func(Payload), arg Payload) Handle {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("des: invalid delay %v", delay))
 	}
 	e := s.newEvent()
-	*e = Event{time: s.now + delay, seq: s.seq, pfn: fn, parg: arg, index: -1}
+	*e = Event{time: s.now + delay, seq: s.seq, epoch: s.epoch, pfn: fn, parg: arg, index: -1}
 	s.seq++
 	heap.Push(&s.pending, e)
-	return e
+	return Handle{e: e, epoch: s.epoch}
 }
 
 // Stop halts the current Run after the in-flight event returns.
@@ -304,7 +373,7 @@ func (s *Sim) Every(period float64, fn func(t float64)) (stop func()) {
 	}
 	stopped := false
 	var tick func()
-	var ev *Event
+	var ev Handle
 	tick = func() {
 		if stopped {
 			return
@@ -317,9 +386,7 @@ func (s *Sim) Every(period float64, fn func(t float64)) (stop func()) {
 	ev = s.Schedule(period, tick)
 	return func() {
 		stopped = true
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 	}
 }
 
@@ -347,20 +414,40 @@ func Replicate[T any](n, workers int, seed uint64, body func(rep int, r *rng.Ran
 	}
 	out := make([]T, n)
 	var wg sync.WaitGroup
-	next := make(chan int)
+	// Replication-level batching: workers claim contiguous index ranges
+	// instead of single replications, amortizing channel traffic while
+	// keeping dynamic load balancing. Each replication still runs its own
+	// pre-derived stream and writes only its own slot, so the output is
+	// identical for every worker count and batch size.
+	batch := n / (workers * replicateBatchFactor)
+	if batch < 1 {
+		batch = 1
+	}
+	next := make(chan [2]int, workers)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				out[i] = body(i, streams[i])
+			for span := range next {
+				for i := span[0]; i < span[1]; i++ {
+					out[i] = body(i, streams[i])
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		next <- [2]int{lo, hi}
 	}
 	close(next)
 	wg.Wait()
 	return out
 }
+
+// replicateBatchFactor targets this many dispatches per worker: enough
+// slack for load balancing across uneven replication times, few enough
+// that channel traffic is negligible.
+const replicateBatchFactor = 4

@@ -378,3 +378,86 @@ func TestSimReset(t *testing.T) {
 		}
 	}
 }
+
+// A handle issued before a Reset must stay inert: its slot is recycled
+// for the next epoch, so cancelling through the stale handle must not
+// touch the slot's new occupant.
+func TestStaleHandleIsInert(t *testing.T) {
+	s := NewSim()
+	stale := s.Schedule(1, func() {})
+	s.Reset()
+	fired := false
+	fresh := s.Schedule(1, func() { fired = true })
+	if stale.Cancelled() != true {
+		t.Fatal("pre-Reset handle should report Cancelled (inert)")
+	}
+	if stale.Time() != 0 {
+		t.Fatalf("stale handle Time = %v, want 0", stale.Time())
+	}
+	stale.Cancel() // must not cancel the recycled slot's new event
+	if fresh.Cancelled() {
+		t.Fatal("cancelling a stale handle cancelled the new epoch's event")
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("new epoch's event did not fire")
+	}
+	// The zero Handle is inert too.
+	var zero Handle
+	zero.Cancel()
+	if !zero.Cancelled() {
+		t.Fatal("zero Handle should report Cancelled")
+	}
+}
+
+// Handles remain first-class within their own epoch even after slots
+// from earlier epochs were recycled.
+func TestHandleCancelWithinEpochAfterReset(t *testing.T) {
+	s := NewSim()
+	s.Schedule(1, func() {})
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	fired := false
+	h := s.Schedule(1, func() { fired = true })
+	h.Cancel()
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !h.Cancelled() {
+		t.Fatal("handle should report Cancelled")
+	}
+}
+
+// Steady-state Reset+run cycles must recycle every arena slot: after a
+// warm-up epoch sized like the steady state, further epochs allocate
+// nothing in the des layer.
+func TestResetRunCycleZeroAllocs(t *testing.T) {
+	s := NewSim()
+	var sink int
+	count := func(Payload) { sink++ }
+	epoch := func() {
+		s.Reset()
+		// Span several arena blocks to exercise the block cursor.
+		for i := 0; i < 3*eventArenaSize; i++ {
+			s.SchedulePayload(float64(i%7), count, Payload{Node: int32(i)})
+		}
+		if err := s.Run(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch() // warm-up: grows the arena and the pending heap
+	allocs := testing.AllocsPerRun(10, epoch)
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset+run cycle allocated %.1f times per epoch, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("events did not fire")
+	}
+}

@@ -96,3 +96,57 @@ func BenchmarkEvalMiss(b *testing.B) {
 		}
 	}
 }
+
+// gridProblem is a bounded greedy search on a generated 100-substation
+// meshed grid: RTU firmware + protocol switches, a few replications per
+// candidate. It exercises the scale path (hundreds of options, ~600-node
+// field network) without turning the bench into a measurement job.
+func gridProblem() Problem {
+	topo := topology.NewMeshedGrid(topology.DefaultMeshedGridSpec(100))
+	cat := exploits.StuxnetCatalog()
+	opts := diversity.EnumerateOptions(topo, cat,
+		[]exploits.Class{exploits.ClassPLCFirmware, exploits.ClassProtocol},
+		func(n topology.Node) bool { return n.Kind == topology.KindPLC })
+	return Problem{
+		Topo: topo, Catalog: cat, Profile: malware.StuxnetProfile(),
+		Options: opts,
+		Cost:    diversity.CostModel{PlatformCost: 5, NodeCost: 2},
+		Budget:  15,
+		Horizon: 168, Reps: 4, Seed: 1,
+		Iterations: 1,
+	}
+}
+
+// BenchmarkOptimizeGrid measures one greedy round over the grid-scale
+// option space — the workload `-topo grid:N` dispatches.
+func BenchmarkOptimizeGrid(b *testing.B) {
+	o, err := ByName("greedy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gridProblem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizePortfolio measures the portfolio strategy (greedy →
+// seeded anneal → seeded genetic) on the reference plant.
+func BenchmarkOptimizePortfolio(b *testing.B) {
+	o, err := ByName("portfolio")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchProblem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

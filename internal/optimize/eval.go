@@ -3,6 +3,7 @@ package optimize
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"diversify/internal/diversity"
 	"diversify/internal/indicators"
@@ -39,6 +40,7 @@ type Evaluator struct {
 	seeds []uint64
 
 	nWorkers int
+	batch    int
 	camps    []*malware.Campaign
 	rands    []*rng.Rand
 
@@ -70,10 +72,17 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 	for i := range seeds {
 		seeds[i] = root.Uint64()
 	}
+	// Replication-level batching: a few dispatches per worker amortize
+	// the claim synchronization while keeping load balancing dynamic.
+	batch := p.Reps / (w * 4)
+	if batch < 1 {
+		batch = 1
+	}
 	ev := &Evaluator{
 		p:        p,
 		seeds:    seeds,
 		nWorkers: w,
+		batch:    batch,
 		camps:    make([]*malware.Campaign, w),
 		rands:    make([]*rng.Rand, w),
 		cache:    map[uint64]Score{},
@@ -145,45 +154,55 @@ func (e *Evaluator) value(s Score) float64 {
 func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 	assignFn := a.Func()
 	errs := make([]error, e.nWorkers)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(e.nWorkers)
 	for w := 0; w < e.nWorkers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			// Static chunking: replication i always runs stream seeds[i],
-			// whichever worker owns it, and writes only slot i.
-			lo := w * e.p.Reps / e.nWorkers
-			hi := (w + 1) * e.p.Reps / e.nWorkers
 			r := e.rands[w]
-			for i := lo; i < hi; i++ {
-				r.Seed(e.seeds[i])
-				camp := e.camps[w]
-				if camp == nil {
-					var err error
-					camp, err = malware.NewCampaign(malware.Config{
-						Topo: e.p.Topo, Catalog: e.p.Catalog, Profile: e.p.Profile,
-						Rand: r, Assign: assignFn, FirewallVariant: e.p.FirewallVariant,
-					})
+			for {
+				// Batched dynamic dispatch: replication i always runs stream
+				// seeds[i] and writes only slot i, so which worker claims a
+				// batch cannot matter.
+				hi := int(cursor.Add(int64(e.batch)))
+				lo := hi - e.batch
+				if lo >= e.p.Reps {
+					return
+				}
+				if hi > e.p.Reps {
+					hi = e.p.Reps
+				}
+				for i := lo; i < hi; i++ {
+					r.Seed(e.seeds[i])
+					camp := e.camps[w]
+					if camp == nil {
+						var err error
+						camp, err = malware.NewCampaign(malware.Config{
+							Topo: e.p.Topo, Catalog: e.p.Catalog, Profile: e.p.Profile,
+							Rand: r, Assign: assignFn, FirewallVariant: e.p.FirewallVariant,
+						})
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						e.camps[w] = camp
+					} else {
+						camp.Reset(assignFn, r)
+					}
+					out, err := camp.Run(e.p.Horizon)
 					if err != nil {
 						errs[w] = err
 						return
 					}
-					e.camps[w] = camp
-				} else {
-					camp.Reset(assignFn, r)
+					e.succBuf[i] = out.Success
+					if out.Detected {
+						e.ttsfBuf[i] = out.TTSF
+					} else {
+						e.ttsfBuf[i] = out.Horizon
+					}
+					e.ratioBuf[i] = indicators.RatioAt(out.Compromised, out.Horizon)
 				}
-				out, err := camp.Run(e.p.Horizon)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				e.succBuf[i] = out.Success
-				if out.Detected {
-					e.ttsfBuf[i] = out.TTSF
-				} else {
-					e.ttsfBuf[i] = out.Horizon
-				}
-				e.ratioBuf[i] = indicators.RatioAt(out.Compromised, out.Horizon)
 			}
 		}(w)
 	}

@@ -230,7 +230,8 @@ type Optimizer interface {
 	Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error)
 }
 
-// ByName returns the named strategy ("greedy", "anneal" or "genetic").
+// ByName returns the named strategy ("greedy", "anneal", "genetic" or
+// "portfolio").
 func ByName(name string) (Optimizer, error) {
 	switch name {
 	case "greedy":
@@ -239,8 +240,10 @@ func ByName(name string) (Optimizer, error) {
 		return &Anneal{}, nil
 	case "genetic":
 		return &Genetic{}, nil
+	case "portfolio":
+		return &Portfolio{}, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown strategy %q (want greedy, anneal or genetic)", ErrBadProblem, name)
+		return nil, fmt.Errorf("%w: unknown strategy %q (want greedy, anneal, genetic or portfolio)", ErrBadProblem, name)
 	}
 }
 

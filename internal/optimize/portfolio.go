@@ -1,0 +1,80 @@
+package optimize
+
+import (
+	"fmt"
+
+	"diversify/internal/rng"
+)
+
+// Portfolio chains the three base strategies: a greedy marginal-gain
+// pass maps the terrain, then simulated annealing and the genetic search
+// both start FROM the greedy incumbent instead of the empty overlay.
+// Greedy is cheap and reliably finds a good basin; the stochastic
+// searches then spend their iterations escaping its local optimum rather
+// than rediscovering it. All three share one evaluator (and so one
+// fingerprint cache and one archive), which is also what makes the final
+// extraction a best-of-portfolio: Run picks the best feasible candidate
+// and the Pareto front over everything any stage evaluated.
+type Portfolio struct {
+	// Anneal and Genetic optionally tune the seeded stages; zero values
+	// use the stage defaults.
+	Anneal  Anneal
+	Genetic Genetic
+}
+
+// Name implements Optimizer.
+func (*Portfolio) Name() string { return "portfolio" }
+
+// Search implements Optimizer. Each stage draws from its own role-keyed
+// stream, so the portfolio is deterministic for a given seed and its
+// stages do not perturb one another's draws.
+func (pf *Portfolio) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
+	var trace []TraceStep
+	appendStage := func(stage string, steps []TraceStep) {
+		for _, s := range steps {
+			s.Action = stage + ": " + s.Action
+			s.Iter = len(trace)
+			trace = append(trace, s)
+		}
+	}
+	greedy := &Greedy{}
+	gSteps, err := greedy.Search(p, ev, newSearchRand(p.Seed, "portfolio-greedy"))
+	if err != nil {
+		return nil, err
+	}
+	appendStage("greedy", gSteps)
+
+	// Seed the stochastic stages from the best feasible candidate so far
+	// (the greedy incumbent, or the baseline when greedy found nothing).
+	seeded := *p
+	if _, bestA, _ := ev.bestFeasible(p.Budget); bestA != nil {
+		seeded.Base = bestA
+	}
+	aSteps, err := pf.Anneal.Search(&seeded, ev, newSearchRand(p.Seed, "portfolio-anneal"))
+	if err != nil {
+		return nil, err
+	}
+	appendStage("anneal", aSteps)
+
+	// Genetic restarts from the CURRENT best (annealing may have improved
+	// on greedy), seeding its population with the strongest incumbent.
+	if _, bestA, _ := ev.bestFeasible(p.Budget); bestA != nil {
+		seeded.Base = bestA
+	}
+	genSteps, err := pf.Genetic.Search(&seeded, ev, newSearchRand(p.Seed, "portfolio-genetic"))
+	if err != nil {
+		return nil, err
+	}
+	appendStage("genetic", genSteps)
+
+	best, _, fp := ev.bestFeasible(p.Budget)
+	trace = append(trace, TraceStep{
+		Iter:     len(trace),
+		Action:   fmt.Sprintf("portfolio best %016x", fp),
+		Cost:     best.Cost,
+		Value:    best.Value,
+		Best:     best.Value,
+		Accepted: true,
+	})
+	return trace, nil
+}

@@ -41,8 +41,16 @@ type Uniform struct {
 
 var _ Dist = Uniform{}
 
-// Sample draws a uniform variate in [Lo, Hi).
-func (d Uniform) Sample(r *Rand) float64 { return d.Lo + (d.Hi-d.Lo)*r.Float64() }
+// Sample draws a uniform variate in [Lo, Hi). It panics when Hi < Lo or
+// either bound is NaN — consistent with the other distributions, which
+// reject invalid parameters instead of silently returning out-of-range
+// draws. A degenerate interval (Hi == Lo) deterministically returns Lo.
+func (d Uniform) Sample(r *Rand) float64 {
+	if !(d.Lo <= d.Hi) {
+		panic(fmt.Sprintf("rng: Uniform requires Lo <= Hi, got [%g, %g)", d.Lo, d.Hi))
+	}
+	return d.Lo + (d.Hi-d.Lo)*r.Float64()
+}
 
 // Mean returns the midpoint of the interval.
 func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }

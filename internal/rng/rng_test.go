@@ -378,3 +378,27 @@ func BenchmarkExp(b *testing.B) {
 	}
 	_ = sink
 }
+
+// Uniform must reject inverted and NaN bounds like every other
+// distribution rejects invalid parameters, instead of silently returning
+// draws outside [Lo, Hi); the degenerate interval stays legal.
+func TestUniformInvalidBoundsPanic(t *testing.T) {
+	r := New(9)
+	for _, d := range []Uniform{
+		{Lo: 5, Hi: 2},
+		{Lo: math.NaN(), Hi: 1},
+		{Lo: 0, Hi: math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on invalid bounds", d)
+				}
+			}()
+			d.Sample(r)
+		}()
+	}
+	if got := (Uniform{Lo: 3, Hi: 3}).Sample(r); got != 3 {
+		t.Errorf("degenerate Uniform sampled %v, want 3", got)
+	}
+}

@@ -277,7 +277,7 @@ type Sim struct {
 	marking Marking
 	eng     *des.Sim
 	r       *rng.Rand
-	timers  []*des.Event // per activity; nil when not scheduled
+	timers  []des.Handle // per activity; the zero Handle when not scheduled
 	rewards []Reward
 	accum   []float64 // reward integrals
 	lastT   float64
@@ -299,7 +299,7 @@ func NewSim(model *Model, r *rng.Rand) (*Sim, error) {
 		marking: model.initial.Clone(),
 		eng:     des.NewSim(),
 		r:       r,
-		timers:  make([]*des.Event, len(model.activities)),
+		timers:  make([]des.Handle, len(model.activities)),
 		maxInst: 10000,
 	}
 	return s, nil
@@ -449,14 +449,14 @@ func (s *Sim) resync() {
 			continue
 		}
 		timer := s.timers[a.id]
-		active := timer != nil && !timer.Cancelled()
+		active := !timer.Cancelled()
 		en := a.enabled(s.marking)
 		switch {
 		case en && !active:
 			s.schedule(a)
 		case !en && active:
 			timer.Cancel()
-			s.timers[a.id] = nil
+			s.timers[a.id] = des.Handle{}
 		case en && active && a.resample:
 			timer.Cancel()
 			s.schedule(a)
@@ -474,7 +474,7 @@ func (s *Sim) schedule(a *Activity) {
 	}
 	act := a
 	s.timers[a.id] = s.eng.Schedule(delay, func() {
-		s.timers[act.id] = nil
+		s.timers[act.id] = des.Handle{}
 		// The event only exists while the activity was continuously
 		// enabled, so it may fire unconditionally.
 		s.fire(act)

@@ -332,6 +332,106 @@ func (t *Topology) NodesOfKind(kind Kind) []NodeID {
 	return append([]NodeID(nil), ids...)
 }
 
+// ValidateComponents checks the topology's configuration against a
+// catalog: every node's (Class, VariantID) pair must reference a variant
+// registered under that same class, and every firewalled link must
+// reference a registered Firewall-class variant. Generators call it from
+// their tests so a class-mismatched default (e.g. an HMI variant wired
+// into the Historian slot) fails loudly instead of silently zeroing
+// every exploitability lookup for the pairing. Nodes and classes are
+// visited in deterministic order, so the first violation reported is
+// stable.
+func (t *Topology) ValidateComponents(cat *exploits.Catalog) error {
+	if cat == nil {
+		return errors.New("topology: ValidateComponents requires a catalog")
+	}
+	for _, n := range t.nodes {
+		classes := make([]exploits.Class, 0, len(n.Components))
+		for c := range n.Components {
+			classes = append(classes, c)
+		}
+		slices.Sort(classes)
+		for _, c := range classes {
+			id := n.Components[c]
+			v, ok := cat.Variant(id)
+			if !ok {
+				return fmt.Errorf("topology: node %q: %v variant %q is not in the catalog", n.Name, c, id)
+			}
+			if v.Class != c {
+				return fmt.Errorf("topology: node %q: variant %q belongs to class %v, not %v",
+					n.Name, id, v.Class, c)
+			}
+		}
+	}
+	for i, l := range t.links {
+		if l.Firewall == "" {
+			continue
+		}
+		v, ok := cat.Variant(l.Firewall)
+		if !ok {
+			return fmt.Errorf("topology: link %d (%d↔%d): firewall variant %q is not in the catalog",
+				i, l.A, l.B, l.Firewall)
+		}
+		if v.Class != exploits.ClassFirewall {
+			return fmt.Errorf("topology: link %d (%d↔%d): variant %q belongs to class %v, not Firewall",
+				i, l.A, l.B, l.Firewall, v.Class)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a deterministic 64-bit digest (FNV-1a) of the
+// full topology — node names, kinds, zones, component assignments in
+// canonical class order, and every link. Two topologies built by the
+// same generator from the same spec and seed share a fingerprint, which
+// is what the generated-grid determinism tests assert.
+func (t *Topology) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	mixInt := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	mixStr := func(s string) {
+		mixInt(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+	}
+	mixInt(uint64(len(t.nodes)))
+	for _, n := range t.nodes {
+		mixStr(n.Name)
+		mix(byte(n.Kind))
+		mix(byte(n.Zone))
+		classes := make([]exploits.Class, 0, len(n.Components))
+		for c := range n.Components {
+			classes = append(classes, c)
+		}
+		slices.Sort(classes)
+		mixInt(uint64(len(classes)))
+		for _, c := range classes {
+			mix(byte(c))
+			mixStr(string(n.Components[c]))
+		}
+	}
+	mixInt(uint64(len(t.links)))
+	for _, l := range t.links {
+		mixInt(uint64(l.A))
+		mixInt(uint64(l.B))
+		mix(byte(l.Medium))
+		mixStr(string(l.Firewall))
+	}
+	return h
+}
+
 // Neighbor is one hop reachable from a node.
 type Neighbor struct {
 	Node     NodeID
