@@ -9,6 +9,8 @@
 //	optimize -topo powergrid -strategy anneal -budget 40 -iterations 300 -seed 7
 //	optimize -strategy genetic -classes OS,Protocol -json
 //	optimize -topo grid:200 -classes PLC,Protocol -reps 8 -iterations 2 -budget 20
+//	optimize -topo grid:200 -strategy pareto -objectives cost,success,detection
+//	optimize -topo grid:100 -screen 200   # greedy, top-200 surrogate screen
 package main
 
 import (
@@ -32,30 +34,34 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	var (
-		topo      = fs.String("topo", "tiered", "topology: tiered, powergrid, or grid:N[:regions] (generated N-substation meshed grid)")
-		threat    = fs.String("threat", "stuxnet", "threat profile: stuxnet, duqu, flame")
-		strategy  = fs.String("strategy", "greedy", "search strategy: greedy, anneal, genetic, portfolio")
-		classes   = fs.String("classes", "OS,PLC,Protocol", "comma-separated component classes (OS, PLC, Protocol, HMI, EngTools, Historian)")
-		objective = fs.String("objective", "success", "minimized indicator: success, ratio, ttsf")
-		budget    = fs.Float64("budget", 40, "diversification budget (cost-model units)")
-		platform  = fs.Float64("platform-cost", 5, "cost per extra distinct variant per class")
-		nodeCost  = fs.Float64("node-cost", 2, "cost per node deviating from the default")
-		iters     = fs.Int("iterations", 0, "search iterations (0 = strategy default)")
-		pop       = fs.Int("pop", 0, "genetic population size (0 = default)")
-		reps      = fs.Int("reps", 64, "Monte-Carlo replications per candidate")
-		horizon   = fs.Float64("horizon", 720, "observation window in hours")
-		seed      = fs.Uint64("seed", 1, "RNG seed (fixes the whole search)")
-		workers   = fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
-		asJSON    = fs.Bool("json", false, "emit the full result as JSON")
+		topo       = fs.String("topo", "tiered", "topology: tiered, powergrid, or grid:N[:regions] (generated N-substation meshed grid)")
+		threat     = fs.String("threat", "stuxnet", "threat profile: stuxnet, duqu, flame")
+		strategy   = fs.String("strategy", "greedy", "search strategy: greedy, anneal, genetic, portfolio, pareto")
+		classes    = fs.String("classes", "OS,PLC,Protocol", "comma-separated component classes (OS, PLC, Protocol, HMI, EngTools, Historian)")
+		objective  = fs.String("objective", "success", "minimized indicator: success, ratio, ttsf")
+		objectives = fs.String("objectives", "", "Pareto front axes, comma-separated from cost,success,detection (empty = all three)")
+		screen     = fs.Int("screen", 0, "options greedy simulates per round (0 = default surrogate screen, -1 = exhaustive)")
+		budget     = fs.Float64("budget", 40, "diversification budget (cost-model units)")
+		platform   = fs.Float64("platform-cost", 5, "cost per extra distinct variant per class")
+		nodeCost   = fs.Float64("node-cost", 2, "cost per node deviating from the default")
+		iters      = fs.Int("iterations", 0, "search iterations (0 = strategy default)")
+		pop        = fs.Int("pop", 0, "genetic population size (0 = default)")
+		reps       = fs.Int("reps", 64, "Monte-Carlo replications per candidate")
+		horizon    = fs.Float64("horizon", 720, "observation window in hours")
+		seed       = fs.Uint64("seed", 1, "RNG seed (fixes the whole search)")
+		workers    = fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+		asJSON     = fs.Bool("json", false, "emit the full result as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	res, err := diversify.Optimize(diversify.OptimizeConfig{
 		Topology: *topo, Threat: *threat, Strategy: *strategy,
-		Classes:   splitList(*classes),
-		Objective: *objective,
-		Budget:    *budget, PlatformCost: *platform, NodeCost: *nodeCost,
+		Classes:    splitList(*classes),
+		Objective:  *objective,
+		Objectives: splitList(*objectives),
+		ScreenTop:  *screen,
+		Budget:     *budget, PlatformCost: *platform, NodeCost: *nodeCost,
 		Iterations: *iters, Population: *pop,
 		Reps: *reps, HorizonHours: *horizon, Seed: *seed, Workers: *workers,
 	})
@@ -69,11 +75,11 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "topology=%s threat=%s strategy=%s objective=%s budget=%.0f seed=%d reps=%d\n\n",
 		*topo, *threat, res.Strategy, res.Objective, res.Budget, *seed, *reps)
-	fmt.Fprintf(out, "%-18s %-8s %-10s %-10s %-10s %-10s\n",
-		"candidate", "cost", "value", "Psuccess", "CRfinal", "TTSFmean")
+	fmt.Fprintf(out, "%-18s %-8s %-10s %-10s %-10s %-10s %-10s %-10s\n",
+		"candidate", "cost", "value", "Psuccess", "CRfinal", "TTSFmean", "Pdetect", "DetLatMean")
 	row := func(name string, s diversify.OptimizeScore) {
-		fmt.Fprintf(out, "%-18s %-8.1f %-10.4f %-10.3f %-10.3f %-10.1f\n",
-			name, s.Cost, s.Value, s.PSuccess, s.FinalRatio, s.MeanTTSF)
+		fmt.Fprintf(out, "%-18s %-8.1f %-10.4f %-10.3f %-10.3f %-10.1f %-10.3f %-10.1f\n",
+			name, s.Cost, s.Value, s.PSuccess, s.FinalRatio, s.MeanTTSF, s.PDetect, s.MeanDetLatency)
 	}
 	row("baseline", res.Baseline)
 	row("random-placement", res.Random)
@@ -83,10 +89,12 @@ func run(args []string, out io.Writer) error {
 	for _, d := range res.Decisions {
 		fmt.Fprintf(out, "  %-18s %-12s -> %s\n", d.Node, d.Class, d.Variant)
 	}
-	fmt.Fprintf(out, "\ncost-vs-risk Pareto front (%d points):\n", len(res.Pareto))
-	fmt.Fprintf(out, "  %-8s %-10s %-10s %-10s\n", "cost", "value", "Psuccess", "decisions")
+	fmt.Fprintf(out, "\ncost × success × detection Pareto front (%d points):\n", len(res.Pareto))
+	fmt.Fprintf(out, "  %-8s %-10s %-10s %-10s %-10s %-10s\n",
+		"cost", "value", "Psuccess", "Pdetect", "DetLatMean", "decisions")
 	for _, p := range res.Pareto {
-		fmt.Fprintf(out, "  %-8.1f %-10.4f %-10.3f %d\n", p.Cost, p.Value, p.PSuccess, len(p.Decisions))
+		fmt.Fprintf(out, "  %-8.1f %-10.4f %-10.3f %-10.3f %-10.1f %d\n",
+			p.Cost, p.Value, p.PSuccess, p.PDetect, p.MeanDetLatency, len(p.Decisions))
 	}
 	fmt.Fprintf(out, "\nsearch: %d steps, %d candidates simulated (%d replications), cache hits %d\n",
 		len(res.Trace), res.Evaluations, res.Replications, res.CacheHits)

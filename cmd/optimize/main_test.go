@@ -146,3 +146,65 @@ func TestPortfolioStrategyCLI(t *testing.T) {
 		}
 	}
 }
+
+// The pareto strategy is selectable from the CLI, respects -objectives,
+// and reports a multi-point non-dominated front with detection columns.
+func TestParetoStrategyCLI(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-topo", "powergrid", "-strategy", "pareto", "-budget", "20",
+		"-reps", "6", "-horizon", "168", "-iterations", "5", "-pop", "8",
+		"-seed", "4", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Pareto []struct {
+			Cost           float64 `json:"cost"`
+			PSuccess       float64 `json:"p_success"`
+			MeanDetLatency float64 `json:"mean_det_latency"`
+		} `json:"pareto"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pareto) < 2 {
+		t.Fatalf("pareto front has %d point(s), want trade-offs", len(res.Pareto))
+	}
+	for i, p := range res.Pareto {
+		if p.Cost > 20 {
+			t.Errorf("front point %d cost %.1f over budget", i, p.Cost)
+		}
+	}
+	// A restricted axis set must also be accepted...
+	buf.Reset()
+	if err := run([]string{
+		"-topo", "powergrid", "-strategy", "pareto", "-budget", "20",
+		"-reps", "4", "-horizon", "120", "-iterations", "3", "-pop", "8",
+		"-seed", "4", "-objectives", "cost,success",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// ...and junk axes rejected.
+	if err := run([]string{"-objectives", "entropy", "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+		t.Fatal("bad -objectives accepted")
+	}
+}
+
+// -screen pins the per-round simulation bound; the run must stay within
+// budget and produce the standard report.
+func TestScreenFlagCLI(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-topo", "grid:40", "-strategy", "greedy", "-classes", "PLC,Protocol",
+		"-budget", "12", "-reps", "4", "-horizon", "120", "-iterations", "1",
+		"-seed", "3", "-screen", "30",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best-found") {
+		t.Fatalf("screened grid run produced no report:\n%s", buf.String())
+	}
+}

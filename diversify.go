@@ -180,12 +180,15 @@ func ThreatProfiles() map[string]malware.Profile {
 type (
 	// OptimizeResult is a placement optimization outcome: baseline /
 	// random / best scores, the winning decisions, the search trace, the
-	// cost-vs-risk Pareto front and cache accounting.
+	// multi-objective (cost × success × detection) Pareto front and
+	// cache accounting.
 	OptimizeResult = optimize.Result
 	// OptimizeScore is one evaluated candidate's measurements.
 	OptimizeScore = optimize.Score
 	// PlacementDecision is one node-variant decision of the winner.
 	PlacementDecision = optimize.Decision
+	// ParetoPoint is one non-dominated candidate of the front.
+	ParetoPoint = optimize.ParetoPoint
 )
 
 // OptimizeConfig parameterizes the step-4 placement optimization on a
@@ -199,8 +202,9 @@ type OptimizeConfig struct {
 	// Threat selects the profile: "stuxnet" (default), "duqu", "flame".
 	Threat string
 	// Strategy selects the search: "greedy" (default), "anneal",
-	// "genetic", or "portfolio" (greedy, then annealing and genetic
-	// seeded from the greedy solution, best of all three).
+	// "genetic", "portfolio" (greedy, then annealing and genetic seeded
+	// from the greedy solution, best of all three), or "pareto" (NSGA-II
+	// multi-objective search over the cost × success × detection front).
 	Strategy string
 	// Classes are the diversifiable component classes by factor name
 	// ("OS", "PLC", "Protocol", "HMI", "EngTools", "Historian"); default
@@ -210,6 +214,14 @@ type OptimizeConfig struct {
 	// attack-success probability), "ratio" (final compromised ratio) or
 	// "ttsf" (maximize time-to-security-failure).
 	Objective string
+	// Objectives selects the axes of the reported Pareto front and of
+	// the "pareto" strategy's dominance comparisons, from "cost",
+	// "success" and "detection" (empty = all three).
+	Objectives []string
+	// ScreenTop bounds how many surrogate-ranked options greedy
+	// simulates per round: 0 applies the default screen on large option
+	// spaces, negative disables screening, positive pins K.
+	ScreenTop int
 	// Budget caps the cost model; PlatformCost prices each extra distinct
 	// variant per class (default 5), NodeCost each deviating node
 	// (default 2).
@@ -302,6 +314,10 @@ func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
 		}
 		classes = append(classes, c)
 	}
+	axes, err := optimize.ParseAxes(cfg.Objectives)
+	if err != nil {
+		return nil, err
+	}
 	var objective optimize.Objective
 	switch cfg.Objective {
 	case "", "success":
@@ -340,6 +356,8 @@ func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
 		Cost:      diversity.CostModel{PlatformCost: platform, NodeCost: node},
 		Budget:    cfg.Budget,
 		Objective: objective,
+		Axes:      axes,
+		ScreenTop: cfg.ScreenTop,
 		Horizon:   cfg.HorizonHours,
 		Reps:      cfg.Reps, Workers: cfg.Workers, Seed: cfg.Seed,
 		Iterations: cfg.Iterations, Population: cfg.Population,

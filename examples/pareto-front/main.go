@@ -1,0 +1,98 @@
+// Pareto-front walkthrough: the paper argues that well-placed diverse
+// variants both *block* attack paths and *expose* the attacker to
+// detection — two goals one scalar objective cannot balance. Li/Feng/
+// Hankin and Laszka et al. therefore formulate diversification as a
+// multi-objective problem. This example runs the NSGA-II "pareto"
+// strategy on a generated 60-substation grid and prints the resulting
+// cost × attack-success × detection-speed front: every row is a
+// defensible spend the others do not dominate, from "spend nothing" to
+// "pay for choke-point hardening that also catches the intruder fast".
+//
+// For contrast it then runs the screened greedy scalar search on the
+// same problem: greedy lands on one point of the trade-off surface; the
+// front shows what that choice gave up on the other axes.
+//
+//	go run ./examples/pareto-front
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/malware"
+	"diversify/internal/optimize"
+	"diversify/internal/topology"
+)
+
+const (
+	substations = 60
+	budget      = 24.0
+	horizon     = 240.0 // 10-day observation window
+	reps        = 12
+	seed        = 7
+)
+
+func main() {
+	start := time.Now()
+	topo := topology.NewMeshedGrid(topology.DefaultMeshedGridSpec(substations))
+	cat := exploits.StuxnetCatalog()
+	if err := topo.ValidateComponents(cat); err != nil {
+		log.Fatal(err)
+	}
+	profile := malware.StuxnetProfile()
+	options := diversity.EnumerateOptions(topo, cat,
+		[]exploits.Class{exploits.ClassOS, exploits.ClassPLCFirmware, exploits.ClassProtocol},
+		func(n topology.Node) bool { return n.Kind != topology.KindCorporatePC })
+	problem := optimize.Problem{
+		Topo: topo, Catalog: cat, Profile: profile,
+		Options:    options,
+		Cost:       diversity.CostModel{PlatformCost: 5, NodeCost: 2},
+		Budget:     budget,
+		Horizon:    horizon,
+		Reps:       reps,
+		Seed:       seed,
+		Iterations: 10,
+		Population: 12,
+	}
+	fmt.Printf("meshed grid: %d substations, %d nodes, %d options, budget %.0f\n\n",
+		substations, topo.Len(), len(options), budget)
+
+	// NSGA-II over the 3-D front.
+	searchStart := time.Now()
+	res, err := optimize.Run(problem, &optimize.Pareto{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pareto search: %d candidates simulated (%d replications), %d cache hits  [%v]\n\n",
+		res.Evaluations, res.Replications, res.CacheHits,
+		time.Since(searchStart).Round(time.Millisecond))
+
+	fmt.Printf("cost × success × detection front (%d non-dominated points):\n", len(res.Pareto))
+	fmt.Printf("  %-8s %-10s %-10s %-12s %-10s\n",
+		"cost", "Psuccess", "Pdetect", "DetLatMean", "decisions")
+	for _, p := range res.Pareto {
+		fmt.Printf("  %-8.1f %-10.3f %-10.3f %-12.1f %d\n",
+			p.Cost, p.PSuccess, p.PDetect, p.MeanDetLatency, len(p.Decisions))
+	}
+
+	// The scalar incumbent for contrast: screened greedy on one objective.
+	greedyStart := time.Now()
+	gres, err := optimize.Run(problem, &optimize.Greedy{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscreened greedy (scalar min-success) for contrast  [%v]:\n",
+		time.Since(greedyStart).Round(time.Millisecond))
+	fmt.Printf("  cost %-6.1f Psuccess %-8.3f Pdetect %-8.3f DetLatMean %.1f\n",
+		gres.Best.Cost, gres.Best.PSuccess, gres.Best.PDetect, gres.Best.MeanDetLatency)
+
+	fmt.Println("\nreading: the front's cheap end blocks little and detects late; the")
+	fmt.Println("expensive end both starves the attack and shrinks the intruder's")
+	fmt.Println("undetected dwell time. Greedy picks one point of that surface — the")
+	fmt.Println("front tells you what the neighboring spends buy, which is the decision")
+	fmt.Println("the paper's cost-balanced diversification argument actually asks for.")
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"diversify/internal/attacktree"
 	"diversify/internal/des"
@@ -247,10 +248,11 @@ func simulateMadanSAN(vuln, attack, fail, detect, recover float64, reps int, see
 	}
 	times := des.Replicate(reps, 0, seed, func(rep int, r *rng.Rand) float64 {
 		model, failed, _ := build()
-		sim, err := san.NewSim(model, r)
+		sim, release, err := newSANSim(model, r)
 		if err != nil {
 			return math.NaN()
 		}
+		defer release()
 		ok, at, err := sim.RunUntil(1e6, func(mk san.Marking) bool { return mk.Tokens(failed) > 0 })
 		if err != nil || !ok {
 			return math.NaN()
@@ -334,4 +336,24 @@ func boolToInt(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// sanMarkingPool recycles scratch markings across the suite's parallel
+// SAN replications (E3, E11); contents are fully overwritten per
+// replication, so pooling cannot affect the seeded tables.
+var sanMarkingPool = sync.Pool{New: func() any { return new(san.Marking) }}
+
+// newSANSim builds a replication Sim on a pooled scratch marking and
+// returns a release hook to call once the Sim is done with it.
+func newSANSim(model *san.Model, r *rng.Rand) (*san.Sim, func(), error) {
+	scratch := sanMarkingPool.Get().(*san.Marking)
+	sim, err := san.NewSimReusing(model, r, *scratch)
+	if err != nil {
+		sanMarkingPool.Put(scratch)
+		return nil, nil, err
+	}
+	return sim, func() {
+		*scratch = sim.Marking()
+		sanMarkingPool.Put(scratch)
+	}, nil
 }

@@ -38,14 +38,48 @@ type Outcome struct {
 	Success bool
 	TTA     float64
 	// Detected reports whether defenders perceived the attack; TTSF is
-	// the perceived-manifestation time (valid when Detected).
+	// the first-detection virtual time (valid when Detected).
 	Detected bool
 	TTSF     float64
+	// Detections counts every detection event over the replication —
+	// physical manifestations, flagged C2 beacons, flagged exfiltrations
+	// — not only the first (which TTSF timestamps).
+	Detections int
 	// Horizon is the replication's observation window.
 	Horizon float64
 	// Compromised is the compromised-ratio time series (nondecreasing
-	// steps in [0,1], times ascending).
+	// steps in [0,1], times ascending). Producers that recycle their
+	// internal timeline hand out a shared view; Clone detaches it.
 	Compromised []Point
+}
+
+// Clone returns an Outcome safe to retain after the producing campaign
+// is Reset: the Compromised series is copied out of campaign-owned
+// storage.
+func (o Outcome) Clone() Outcome {
+	if o.Compromised != nil {
+		// make-then-append keeps an empty series non-nil, so a cloned
+		// zero-compromise outcome stays value-identical to the original.
+		o.Compromised = append(make([]Point, 0, len(o.Compromised)), o.Compromised...)
+	}
+	return o
+}
+
+// DwellTime returns how long the intruder operated before being
+// perceived: the first-detection time minus the first-compromise time,
+// with undetected replications censored at the horizon. Replications
+// that never compromised anything return 0 — there was no intruder to
+// catch. This is the per-replication "detection speed" measurement the
+// multi-objective placement search minimizes.
+func (o Outcome) DwellTime() float64 {
+	if len(o.Compromised) == 0 {
+		return 0
+	}
+	start := o.Compromised[0].T
+	if o.Detected {
+		return o.TTSF - start
+	}
+	return o.Horizon - start
 }
 
 // SuccessProbability returns the attack-success fraction with a Wilson
@@ -127,6 +161,37 @@ func DetectionRate(outcomes []Outcome, level float64) (stats.Interval, error) {
 		}
 	}
 	return stats.ProportionCI(det, len(outcomes), level)
+}
+
+// DetectionLatencySummary describes the intruder dwell time (DwellTime)
+// over the replications in which anything was compromised; undetected
+// intrusions are censored at the horizon. It returns ErrNoData when no
+// replication saw a compromise.
+func DetectionLatencySummary(outcomes []Outcome) (stats.Summary, error) {
+	times := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		if len(o.Compromised) == 0 {
+			continue
+		}
+		times = append(times, o.DwellTime())
+	}
+	if len(times) == 0 {
+		return stats.Summary{}, fmt.Errorf("%w: no compromises", ErrNoData)
+	}
+	return stats.Describe(times), nil
+}
+
+// MeanDetections returns the mean detection-event count per replication
+// (0 for an empty sample).
+func MeanDetections(outcomes []Outcome) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, o := range outcomes {
+		sum += float64(o.Detections)
+	}
+	return sum / float64(len(outcomes))
 }
 
 // RatioAt evaluates a compromised-ratio step series at time t (the value

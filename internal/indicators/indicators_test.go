@@ -188,3 +188,52 @@ func TestQuickRatioMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// DwellTime: detected → TTSF − first compromise; undetected → censored
+// at the horizon; never-compromised → 0 (no intruder to catch).
+func TestDwellTime(t *testing.T) {
+	s := sample()
+	for i, want := range []float64{8 - 2, 100 - 5, 50 - 30, 0} {
+		if got := s[i].DwellTime(); got != want {
+			t.Errorf("outcome %d: dwell %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDetectionLatencySummary(t *testing.T) {
+	sum, err := DetectionLatencySummary(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outcomes 0–2 saw compromises: dwell 6, 95, 20.
+	if sum.N != 3 {
+		t.Fatalf("N = %d, want 3", sum.N)
+	}
+	want := (6.0 + 95 + 20) / 3
+	if math.Abs(sum.Mean-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", sum.Mean, want)
+	}
+	if _, err := DetectionLatencySummary([]Outcome{{Horizon: 10}}); !errors.Is(err, ErrNoData) {
+		t.Fatal("no-compromise sample accepted")
+	}
+}
+
+func TestMeanDetections(t *testing.T) {
+	outs := []Outcome{{Detections: 3}, {Detections: 1}, {}}
+	if got := MeanDetections(outs); math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("mean detections = %v", got)
+	}
+	if MeanDetections(nil) != 0 {
+		t.Fatal("empty sample should be 0")
+	}
+}
+
+// Clone must detach the Compromised series from shared storage.
+func TestOutcomeClone(t *testing.T) {
+	o := sample()[0]
+	c := o.Clone()
+	c.Compromised[0].Value = 0.99
+	if o.Compromised[0].Value == 0.99 {
+		t.Fatal("Clone shares the series backing array")
+	}
+}

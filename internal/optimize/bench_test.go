@@ -117,14 +117,54 @@ func gridProblem() Problem {
 	}
 }
 
-// BenchmarkOptimizeGrid measures one greedy round over the grid-scale
-// option space — the workload `-topo grid:N` dispatches.
+// BenchmarkOptimizeGrid measures one exhaustive greedy round over the
+// grid-scale option space (screening disabled — the historical workload
+// `-topo grid:N` used to dispatch; contrast BenchmarkScreenedGreedy).
 func BenchmarkOptimizeGrid(b *testing.B) {
 	o, err := ByName("greedy")
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := gridProblem()
+	p.ScreenTop = -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScreenedGreedy is the same grid-scale greedy round under the
+// default surrogate screen: only the top quarter of the options is
+// simulated, which is what `-topo grid:N` now dispatches by default.
+func BenchmarkScreenedGreedy(b *testing.B) {
+	o, err := ByName("greedy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gridProblem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParetoGrid measures the NSGA-II multi-objective search on
+// the grid-scale problem: a few generations over the cost × success ×
+// detection front, memoized evaluations included.
+func BenchmarkParetoGrid(b *testing.B) {
+	o, err := ByName("pareto")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := gridProblem()
+	p.Iterations = 2
+	p.Population = 8
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

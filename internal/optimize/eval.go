@@ -53,8 +53,11 @@ type Evaluator struct {
 	// replication order so float accumulation is independent of the
 	// worker count.
 	succBuf  []bool
+	detBuf   []bool
 	ttsfBuf  []float64
 	ratioBuf []float64
+	dwellBuf []float64
+	dcntBuf  []int
 }
 
 // newEvaluator prepares the worker pool for a normalized, validated
@@ -87,8 +90,11 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 		rands:    make([]*rng.Rand, w),
 		cache:    map[uint64]Score{},
 		succBuf:  make([]bool, p.Reps),
+		detBuf:   make([]bool, p.Reps),
 		ttsfBuf:  make([]float64, p.Reps),
 		ratioBuf: make([]float64, p.Reps),
+		dwellBuf: make([]float64, p.Reps),
+		dcntBuf:  make([]int, p.Reps),
 	}
 	for i := range ev.rands {
 		ev.rands[i] = rng.New(0) // reseeded before every replication
@@ -196,12 +202,15 @@ func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 						return
 					}
 					e.succBuf[i] = out.Success
+					e.detBuf[i] = out.Detected
 					if out.Detected {
 						e.ttsfBuf[i] = out.TTSF
 					} else {
 						e.ttsfBuf[i] = out.Horizon
 					}
 					e.ratioBuf[i] = indicators.RatioAt(out.Compromised, out.Horizon)
+					e.dwellBuf[i] = out.DwellTime()
+					e.dcntBuf[i] = out.Detections
 				}
 			}
 		}(w)
@@ -215,18 +224,26 @@ func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 	// Aggregate in replication order: float accumulation is then
 	// independent of the worker count.
 	var s Score
-	succ := 0
+	succ, det, dcnt := 0, 0, 0
 	for i := 0; i < e.p.Reps; i++ {
 		if e.succBuf[i] {
 			succ++
 		}
+		if e.detBuf[i] {
+			det++
+		}
+		dcnt += e.dcntBuf[i]
 		s.MeanTTSF += e.ttsfBuf[i]
 		s.FinalRatio += e.ratioBuf[i]
+		s.MeanDetLatency += e.dwellBuf[i]
 	}
 	n := float64(e.p.Reps)
 	s.PSuccess = float64(succ) / n
+	s.PDetect = float64(det) / n
 	s.MeanTTSF /= n
 	s.FinalRatio /= n
+	s.MeanDetLatency /= n
+	s.MeanDetections = float64(dcnt) / n
 	return s, nil
 }
 

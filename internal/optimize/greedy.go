@@ -12,7 +12,12 @@ import (
 // each affordable option to the incumbent, keeps the one with the best
 // objective-improvement-per-unit-cost ratio, and stops when no affordable
 // option improves the objective (or the round bound is hit). With a
-// memoizing evaluator each round costs at most |Options| simulations.
+// memoizing evaluator each round costs at most |Options| simulations —
+// and on large option spaces (Problem.ScreenTop) only the top-K options
+// by the structural screening surrogate are simulated per round, which
+// keeps grid-scale rounds a quarter of their exhaustive cost. The
+// screened survivors are scanned in ascending option order, exactly as
+// the exhaustive scan would visit them, so ties resolve identically.
 type Greedy struct{}
 
 // Name implements Optimizer.
@@ -29,13 +34,15 @@ func (*Greedy) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, erro
 	if maxRounds <= 0 {
 		maxRounds = len(p.Options)
 	}
+	order := screenOrder(p)
 	nodes := p.Topo.Nodes()
 	var trace []TraceStep
 	for round := 0; round < maxRounds; round++ {
 		bestIdx := -1
 		bestRatio := 0.0
 		var bestScore Score
-		for i, opt := range p.Options {
+		for _, i := range order {
+			opt := p.Options[i]
 			// Skip no-ops: the node already runs this variant.
 			if v, ok := diversity.EffectiveVariant(current, nodes[opt.Node], opt.Class); ok && v == opt.Variant {
 				continue

@@ -8,11 +8,14 @@
 // diversifying; this package decides WHERE the scarce resilient variants
 // go — the budget-constrained assignment optimization that Li et al.
 // ("Improving ICS Cyber Resilience through Optimal Diversification of
-// Network Resources") and Laszka et al. formalize. Three pluggable
+// Network Resources") and Laszka et al. formalize. The pluggable
 // strategies share one Optimizer interface: greedy marginal-gain
-// placement, simulated annealing over neighbor moves (upgrade / drop /
-// relocate / swap a node's variant), and a genetic search with crossover
-// over node-variant overlays. All of them drive a shared Evaluator that
+// placement (with surrogate screening of large option spaces), simulated
+// annealing over neighbor moves (upgrade / drop / relocate / swap a
+// node's variant), a genetic search with crossover over node-variant
+// overlays, the portfolio chain, and an NSGA-II multi-objective search
+// ("pareto") over the cost × attack-success × detection-speed front.
+// All of them drive a shared Evaluator that
 // fans replications out over a pool of workers with per-worker reusable
 // campaigns and per-replication seeded RNG streams (common random numbers
 // across candidates), memoizing scores by assignment fingerprint so an
@@ -68,6 +71,77 @@ func (o Objective) String() string {
 	}
 }
 
+// Axis is one minimized dimension of the multi-objective front: the
+// Pareto extraction and the NSGA-II search compare candidates by the
+// objective vector these axes select from a Score.
+type Axis int
+
+// Front axes. All are minimized.
+const (
+	// AxisCost is the cost-model price.
+	AxisCost Axis = iota + 1
+	// AxisSuccess is the attack-success probability, refined by the mean
+	// final compromised ratio at 1e-3 weight — the same scalar
+	// MinimizeSuccess minimizes, so the scalar incumbent always sits on
+	// the front.
+	AxisSuccess
+	// AxisDetection is the negated detection speed: the mean intruder
+	// dwell time before detection (MeanDetLatency).
+	AxisDetection
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisCost:
+		return "cost"
+	case AxisSuccess:
+		return "success"
+	case AxisDetection:
+		return "detection"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// of extracts the axis value from a score.
+func (a Axis) of(s Score) float64 {
+	switch a {
+	case AxisCost:
+		return s.Cost
+	case AxisSuccess:
+		return s.PSuccess + 1e-3*s.FinalRatio
+	case AxisDetection:
+		return s.MeanDetLatency
+	default:
+		return math.NaN()
+	}
+}
+
+// ParseAxes resolves front-axis names ("cost", "success", "detection").
+// An empty list selects the full 3-D front.
+func ParseAxes(names []string) ([]Axis, error) {
+	if len(names) == 0 {
+		return DefaultAxes(), nil
+	}
+	out := make([]Axis, 0, len(names))
+	for _, n := range names {
+		switch n {
+		case "cost":
+			out = append(out, AxisCost)
+		case "success":
+			out = append(out, AxisSuccess)
+		case "detection":
+			out = append(out, AxisDetection)
+		default:
+			return nil, fmt.Errorf("%w: unknown objective axis %q (want cost, success or detection)", ErrBadProblem, n)
+		}
+	}
+	return out, nil
+}
+
+// DefaultAxes returns the full cost × success × detection front.
+func DefaultAxes() []Axis { return []Axis{AxisCost, AxisSuccess, AxisDetection} }
+
 // Problem is one budget-constrained placement optimization.
 type Problem struct {
 	Topo    *topology.Topology
@@ -83,6 +157,15 @@ type Problem struct {
 	Budget float64
 	// Objective selects the minimized scalar (default MinimizeSuccess).
 	Objective Objective
+	// Axes selects the dimensions of the reported Pareto front and of
+	// the "pareto" strategy's dominance comparisons (default: the full
+	// cost × success × detection front).
+	Axes []Axis
+	// ScreenTop bounds how many surrogate-ranked options greedy
+	// simulates per round: 0 picks the default (no screening up to 48
+	// options, then a quarter of the space with a floor of 24), negative
+	// disables screening, positive pins K. See screenScores.
+	ScreenTop int
 	// Horizon is the campaign observation window in hours (default 720).
 	Horizon float64
 	// Reps is the Monte-Carlo replication count per candidate (default 50).
@@ -115,6 +198,9 @@ func (p *Problem) normalize() {
 	if p.Population <= 0 {
 		p.Population = 16
 	}
+	if len(p.Axes) == 0 {
+		p.Axes = DefaultAxes()
+	}
 }
 
 // validate checks the problem after normalization.
@@ -136,6 +222,13 @@ func (p *Problem) validate() error {
 	default:
 		return fmt.Errorf("%w: unknown objective %d", ErrBadProblem, int(p.Objective))
 	}
+	for _, a := range p.Axes {
+		switch a {
+		case AxisCost, AxisSuccess, AxisDetection:
+		default:
+			return fmt.Errorf("%w: unknown front axis %d", ErrBadProblem, int(a))
+		}
+	}
 	return nil
 }
 
@@ -147,7 +240,10 @@ func (p *Problem) base() *diversity.Assignment {
 	return diversity.NewAssignment()
 }
 
-// Score is one evaluated candidate's measurements.
+// Score is one evaluated candidate's measurements. Every field is a
+// pure function of the assignment (common random numbers, aggregation
+// in replication order), so scores are identical for every worker count
+// and batch size.
 type Score struct {
 	// Value is the minimized scalar under the problem objective.
 	Value float64 `json:"value"`
@@ -158,6 +254,16 @@ type Score struct {
 	MeanTTSF float64 `json:"mean_ttsf"`
 	// FinalRatio is the mean compromised ratio at the horizon.
 	FinalRatio float64 `json:"final_ratio"`
+	// PDetect is the fraction of replications in which defenders
+	// perceived the attack.
+	PDetect float64 `json:"p_detect"`
+	// MeanDetLatency is the mean intruder dwell time before detection
+	// (first detection minus first compromise, undetected replications
+	// censored at the horizon, compromise-free ones contributing 0) —
+	// the negated-detection-speed objective of the 3-D Pareto front.
+	MeanDetLatency float64 `json:"mean_det_latency"`
+	// MeanDetections is the mean detection-event count per replication.
+	MeanDetections float64 `json:"mean_detections"`
 	// Cost is the cost-model price of the candidate.
 	Cost float64 `json:"cost"`
 }
@@ -182,15 +288,21 @@ type Decision struct {
 	Variant string `json:"variant"`
 }
 
-// ParetoPoint is one non-dominated (cost, value) candidate discovered
-// during the search.
+// ParetoPoint is one non-dominated candidate of the multi-objective
+// front (cost × attack-success × detection speed under the problem's
+// Axes). Points are deduplicated by objective vector and sorted
+// lexicographically by it (then fingerprint), so the front is stable
+// byte for byte across runs, worker counts and batch sizes.
 type ParetoPoint struct {
-	Cost        float64    `json:"cost"`
-	Value       float64    `json:"value"`
-	PSuccess    float64    `json:"p_success"`
-	FinalRatio  float64    `json:"final_ratio"`
-	Fingerprint uint64     `json:"fingerprint"`
-	Decisions   []Decision `json:"decisions"`
+	Cost           float64    `json:"cost"`
+	Value          float64    `json:"value"`
+	PSuccess       float64    `json:"p_success"`
+	FinalRatio     float64    `json:"final_ratio"`
+	PDetect        float64    `json:"p_detect"`
+	MeanDetLatency float64    `json:"mean_det_latency"`
+	MeanDetections float64    `json:"mean_detections"`
+	Fingerprint    uint64     `json:"fingerprint"`
+	Decisions      []Decision `json:"decisions"`
 }
 
 // Result is the outcome of one optimization run.
@@ -230,8 +342,8 @@ type Optimizer interface {
 	Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error)
 }
 
-// ByName returns the named strategy ("greedy", "anneal", "genetic" or
-// "portfolio").
+// ByName returns the named strategy ("greedy", "anneal", "genetic",
+// "portfolio" or "pareto").
 func ByName(name string) (Optimizer, error) {
 	switch name {
 	case "greedy":
@@ -242,8 +354,10 @@ func ByName(name string) (Optimizer, error) {
 		return &Genetic{}, nil
 	case "portfolio":
 		return &Portfolio{}, nil
+	case "pareto":
+		return &Pareto{}, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown strategy %q (want greedy, anneal, genetic or portfolio)", ErrBadProblem, name)
+		return nil, fmt.Errorf("%w: unknown strategy %q (want greedy, anneal, genetic, portfolio or pareto)", ErrBadProblem, name)
 	}
 }
 
@@ -327,38 +441,94 @@ func decisionsOf(t *topology.Topology, a *diversity.Assignment) []Decision {
 	return out
 }
 
-// paretoFront extracts the non-dominated feasible (cost, value) set from
-// the evaluator archive, sorted by cost ascending.
-func paretoFront(p *Problem, ev *Evaluator) []ParetoPoint {
-	cands := make([]candidate, 0, len(ev.archive))
-	for _, c := range ev.archive {
-		if c.score.Cost <= p.Budget+budgetEps {
-			cands = append(cands, c)
+// objVec maps a score to the problem's objective vector (all axes
+// minimized).
+func objVec(axes []Axis, s Score) []float64 {
+	v := make([]float64, len(axes))
+	for i, a := range axes {
+		v[i] = a.of(s)
+	}
+	return v
+}
+
+// dominates reports whether objective vector a Pareto-dominates b: no
+// worse on every axis and strictly better on at least one.
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
 		}
 	}
-	slices.SortFunc(cands, func(a, b candidate) int {
-		if c := cmp.Compare(a.score.Cost, b.score.Cost); c != 0 {
+	return strict
+}
+
+// compareVec orders objective vectors lexicographically.
+func compareVec(a, b []float64) int {
+	for i := range a {
+		if c := cmp.Compare(a[i], b[i]); c != 0 {
 			return c
 		}
-		if c := cmp.Compare(a.score.Value, b.score.Value); c != 0 {
+	}
+	return 0
+}
+
+// paretoFront extracts the non-dominated feasible set from the
+// evaluator archive over the problem's axes. Candidates harvested from
+// the cache with identical objective vectors (distinct assignments that
+// measure the same) are deduplicated, keeping the lowest fingerprint,
+// and the front is sorted by objective vector then fingerprint — so the
+// -json output is stable across runs.
+func paretoFront(p *Problem, ev *Evaluator) []ParetoPoint {
+	type scored struct {
+		c   candidate
+		vec []float64
+	}
+	cands := make([]scored, 0, len(ev.archive))
+	for _, c := range ev.archive {
+		if c.score.Cost <= p.Budget+budgetEps {
+			cands = append(cands, scored{c: c, vec: objVec(p.Axes, c.score)})
+		}
+	}
+	slices.SortFunc(cands, func(a, b scored) int {
+		if c := compareVec(a.vec, b.vec); c != 0 {
 			return c
 		}
-		return cmp.Compare(a.fingerprint, b.fingerprint)
+		return cmp.Compare(a.c.fingerprint, b.c.fingerprint)
 	})
-	var front []ParetoPoint
-	bestSoFar := math.Inf(1)
-	for _, c := range cands {
-		if c.score.Value >= bestSoFar {
+	// Dedupe equal vectors (the sort put the lowest fingerprint first).
+	uniq := cands[:0]
+	for i, s := range cands {
+		if i > 0 && compareVec(uniq[len(uniq)-1].vec, s.vec) == 0 {
 			continue
 		}
-		bestSoFar = c.score.Value
+		uniq = append(uniq, s)
+	}
+	var front []ParetoPoint
+	for i, s := range uniq {
+		dominated := false
+		for j, o := range uniq {
+			if i != j && dominates(o.vec, s.vec) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
 		front = append(front, ParetoPoint{
-			Cost:        c.score.Cost,
-			Value:       c.score.Value,
-			PSuccess:    c.score.PSuccess,
-			FinalRatio:  c.score.FinalRatio,
-			Fingerprint: c.fingerprint,
-			Decisions:   decisionsOf(p.Topo, c.assignment),
+			Cost:           s.c.score.Cost,
+			Value:          s.c.score.Value,
+			PSuccess:       s.c.score.PSuccess,
+			FinalRatio:     s.c.score.FinalRatio,
+			PDetect:        s.c.score.PDetect,
+			MeanDetLatency: s.c.score.MeanDetLatency,
+			MeanDetections: s.c.score.MeanDetections,
+			Fingerprint:    s.c.fingerprint,
+			Decisions:      decisionsOf(p.Topo, s.c.assignment),
 		})
 	}
 	return front

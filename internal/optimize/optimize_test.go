@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ func testProblem(seed uint64) Problem {
 func strategies(t *testing.T) []Optimizer {
 	t.Helper()
 	var out []Optimizer
-	for _, name := range []string{"greedy", "anneal", "genetic", "portfolio"} {
+	for _, name := range []string{"greedy", "anneal", "genetic", "portfolio", "pareto"} {
 		o, err := ByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -120,35 +121,57 @@ func TestMemoizationHits(t *testing.T) {
 	}
 }
 
-// The Pareto front must be cost-sorted, strictly improving and within
-// budget.
+// pointVec rebuilds the objective vector of a reported front point for
+// the default cost × success × detection axes.
+func pointVec(pt ParetoPoint) []float64 {
+	return []float64{pt.Cost, pt.PSuccess + 1e-3*pt.FinalRatio, pt.MeanDetLatency}
+}
+
+// The Pareto front must be within budget, cost-sorted, free of
+// duplicate objective vectors, and pairwise non-dominated in all three
+// objectives — for every strategy's archive, not just the pareto
+// search's.
 func TestParetoFrontShape(t *testing.T) {
-	o, _ := ByName("anneal")
-	p := testProblem(7)
-	res, err := Run(p, o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Pareto) == 0 {
-		t.Fatal("empty pareto front")
-	}
-	for i, pt := range res.Pareto {
-		if pt.Cost > p.Budget+budgetEps {
-			t.Errorf("front point %d cost %.2f over budget", i, pt.Cost)
+	for _, name := range []string{"anneal", "pareto"} {
+		o, _ := ByName(name)
+		p := testProblem(7)
+		res, err := Run(p, o)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if i > 0 {
-			if pt.Cost <= res.Pareto[i-1].Cost {
-				t.Errorf("front not cost-ascending at %d", i)
+		if len(res.Pareto) == 0 {
+			t.Fatal("empty pareto front")
+		}
+		minValue := math.Inf(1)
+		for i, pt := range res.Pareto {
+			if pt.Cost > p.Budget+budgetEps {
+				t.Errorf("%s: front point %d cost %.2f over budget", name, i, pt.Cost)
 			}
-			if pt.Value >= res.Pareto[i-1].Value {
-				t.Errorf("front not value-descending at %d", i)
+			if i > 0 && pt.Cost < res.Pareto[i-1].Cost {
+				t.Errorf("%s: front not cost-ascending at %d", name, i)
+			}
+			if pt.Value < minValue {
+				minValue = pt.Value
+			}
+			for j, other := range res.Pareto {
+				if i == j {
+					continue
+				}
+				ov, pv := pointVec(other), pointVec(pt)
+				if dominates(ov, pv) {
+					t.Errorf("%s: front point %d dominated by %d", name, i, j)
+				}
+				if i < j && compareVec(ov, pv) == 0 {
+					t.Errorf("%s: duplicate objective vector at %d and %d", name, i, j)
+				}
 			}
 		}
-	}
-	// The best candidate is on the front's lower envelope.
-	last := res.Pareto[len(res.Pareto)-1]
-	if last.Value != res.Best.Value {
-		t.Errorf("front tail value %.4f != best %.4f", last.Value, res.Best.Value)
+		// The scalar incumbent's value is the front's success floor: the
+		// success axis IS the MinimizeSuccess scalar, so the best feasible
+		// candidate cannot be dominated out of the front.
+		if minValue != res.Best.Value {
+			t.Errorf("%s: front success floor %.4f != best %.4f", name, minValue, res.Best.Value)
+		}
 	}
 }
 

@@ -1,0 +1,293 @@
+package optimize
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+
+	"diversify/internal/diversity"
+	"diversify/internal/rng"
+)
+
+// Pareto is an NSGA-II-style multi-objective search over the problem's
+// front axes (default cost × attack-success × detection speed, all
+// minimized): fast non-dominated sorting ranks the population into
+// fronts, crowding distance spreads survivors along each front, and
+// binary tournaments on (rank, crowding) select parents for the same
+// crossover / mutation / budget-repair operators the genetic strategy
+// uses. Instead of collapsing the objectives into one scalar it grows
+// the archive toward the whole trade-off surface; Run then extracts the
+// deduplicated non-dominated front from everything evaluated.
+// Iterations is the generation count, Population the population size.
+// Every comparison is tie-broken by assignment fingerprint, so the
+// search — and the front it leaves behind — is deterministic for a
+// given seed regardless of the worker count.
+type Pareto struct {
+	// MutProb is the per-child mutation probability (default 0.45 —
+	// higher than Genetic's because diversity along the front matters
+	// more than convergence to a single optimum).
+	MutProb float64
+	// TournamentK is the selection tournament size (default 2, the
+	// NSGA-II standard binary tournament).
+	TournamentK int
+}
+
+// Name implements Optimizer.
+func (*Pareto) Name() string { return "pareto" }
+
+// pind is one population member with its cached objective vector.
+type pind struct {
+	a   *diversity.Assignment
+	s   Score
+	fp  uint64
+	vec []float64
+}
+
+// Search implements Optimizer.
+func (pt *Pareto) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
+	gens := p.Iterations
+	if gens <= 0 {
+		gens = 20
+	}
+	popSize := p.Population
+	if popSize < 8 {
+		popSize = 8
+	}
+	mutProb := pt.MutProb
+	if mutProb <= 0 || mutProb > 1 {
+		mutProb = 0.45
+	}
+	tk := pt.TournamentK
+	if tk <= 1 {
+		tk = 2
+	}
+	ms := newMoveSpace(p)
+	score := func(members []*diversity.Assignment) ([]pind, error) {
+		out := make([]pind, len(members))
+		for i, a := range members {
+			s, err := ev.Score(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = pind{a: a, s: s, fp: a.Fingerprint(), vec: objVec(p.Axes, s)}
+		}
+		return out, nil
+	}
+	// Seed population: the incumbent plus random feasible fills of
+	// varying intensity (same recipe as the genetic strategy).
+	members := make([]*diversity.Assignment, 0, popSize)
+	members = append(members, p.base())
+	for len(members) < popSize {
+		a := p.base()
+		k := 1 + r.Intn(max(1, len(p.Options)/3))
+		for j := 0; j < k; j++ {
+			p.Options[r.Intn(len(p.Options))].Apply(a)
+		}
+		ms.repair(a, r)
+		members = append(members, a)
+	}
+	pop, err := score(members)
+	if err != nil {
+		return nil, err
+	}
+	trace := make([]TraceStep, 0, gens+1)
+	for gen := 0; gen < gens; gen++ {
+		rank, crowd := rankAndCrowd(p.Axes, pop)
+		trace = append(trace, paretoTraceStep(gen, pop, rank))
+		tournament := func() pind {
+			best := r.Intn(len(pop))
+			for i := 1; i < tk; i++ {
+				c := r.Intn(len(pop))
+				if pindLess(rank, crowd, pop, c, best) {
+					best = c
+				}
+			}
+			return pop[best]
+		}
+		// Offspring generation, then (mu+lambda) environmental selection
+		// over parents ∪ children.
+		children := make([]*diversity.Assignment, 0, popSize)
+		for len(children) < popSize {
+			p1, p2 := tournament(), tournament()
+			child := crossover(p1.a, p2.a, r)
+			if r.Bool(mutProb) {
+				ms.mutate(child, r)
+			}
+			ms.repair(child, r)
+			children = append(children, child)
+		}
+		scored, err := score(children)
+		if err != nil {
+			return nil, err
+		}
+		pop = selectSurvivors(p.Axes, append(pop, scored...), popSize)
+	}
+	rank, _ := rankAndCrowd(p.Axes, pop)
+	trace = append(trace, paretoTraceStep(gens, pop, rank))
+	return trace, nil
+}
+
+// paretoTraceStep summarizes one generation: how wide front 0 is and the
+// best (lowest) success-axis member, which doubles as the step value.
+func paretoTraceStep(gen int, pop []pind, rank []int) TraceStep {
+	frontSize := 0
+	best := math.Inf(1)
+	bestCost := 0.0
+	for i, ind := range pop {
+		if rank[i] == 0 {
+			frontSize++
+		}
+		if v := AxisSuccess.of(ind.s); v < best || (v == best && ind.s.Cost < bestCost) {
+			best, bestCost = v, ind.s.Cost
+		}
+	}
+	return TraceStep{
+		Iter:     gen,
+		Action:   fmt.Sprintf("generation %d: front %d/%d", gen, frontSize, len(pop)),
+		Cost:     bestCost,
+		Value:    best,
+		Best:     best,
+		Accepted: true,
+	}
+}
+
+// pindLess is the NSGA-II crowded-comparison operator: lower rank wins,
+// then larger crowding distance, then lower fingerprint (determinism).
+func pindLess(rank []int, crowd []float64, pop []pind, a, b int) bool {
+	if rank[a] != rank[b] {
+		return rank[a] < rank[b]
+	}
+	if crowd[a] != crowd[b] {
+		return crowd[a] > crowd[b]
+	}
+	return pop[a].fp < pop[b].fp
+}
+
+// rankAndCrowd computes the non-domination rank and crowding distance of
+// every member.
+func rankAndCrowd(axes []Axis, pop []pind) (rank []int, crowd []float64) {
+	fronts := nonDominatedFronts(pop)
+	rank = make([]int, len(pop))
+	crowd = make([]float64, len(pop))
+	for fi, front := range fronts {
+		for _, i := range front {
+			rank[i] = fi
+		}
+		crowdingDistance(axes, pop, front, crowd)
+	}
+	return rank, crowd
+}
+
+// nonDominatedFronts performs fast non-dominated sorting: front 0 is the
+// non-dominated set, front k the set dominated only by fronts < k.
+// Within a front, members keep ascending population index (stable).
+func nonDominatedFronts(pop []pind) [][]int {
+	n := len(pop)
+	domCount := make([]int, n)    // how many members dominate i
+	dominated := make([][]int, n) // members i dominates
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case dominates(pop[i].vec, pop[j].vec):
+				dominated[i] = append(dominated[i], j)
+				domCount[j]++
+			case dominates(pop[j].vec, pop[i].vec):
+				dominated[j] = append(dominated[j], i)
+				domCount[i]++
+			}
+		}
+	}
+	var fronts [][]int
+	var current []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			current = append(current, i)
+		}
+	}
+	for len(current) > 0 {
+		fronts = append(fronts, current)
+		var next []int
+		for _, i := range current {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		slices.Sort(next)
+		current = next
+	}
+	return fronts
+}
+
+// crowdingDistance fills dist for the members of one front: boundary
+// members on each axis get +Inf, interior ones the sum of normalized
+// neighbor gaps. Sorting ties break on fingerprint so equal-valued
+// members get deterministic distances.
+func crowdingDistance(axes []Axis, pop []pind, front []int, dist []float64) {
+	if len(front) <= 2 {
+		for _, i := range front {
+			dist[i] = math.Inf(1)
+		}
+		return
+	}
+	order := make([]int, len(front))
+	for ai := range axes {
+		copy(order, front)
+		slices.SortFunc(order, func(a, b int) int {
+			if c := cmp.Compare(pop[a].vec[ai], pop[b].vec[ai]); c != 0 {
+				return c
+			}
+			return cmp.Compare(pop[a].fp, pop[b].fp)
+		})
+		lo := pop[order[0]].vec[ai]
+		hi := pop[order[len(order)-1]].vec[ai]
+		dist[order[0]] = math.Inf(1)
+		dist[order[len(order)-1]] = math.Inf(1)
+		if span := hi - lo; span > 0 {
+			for k := 1; k < len(order)-1; k++ {
+				gap := (pop[order[k+1]].vec[ai] - pop[order[k-1]].vec[ai]) / span
+				dist[order[k]] += gap
+			}
+		}
+	}
+}
+
+// selectSurvivors keeps the best popSize members of the combined
+// parent+offspring pool under the crowded comparison, after dropping
+// fingerprint duplicates (the memoizing evaluator makes revisits cheap,
+// but clones add nothing to the front).
+func selectSurvivors(axes []Axis, pool []pind, popSize int) []pind {
+	slices.SortFunc(pool, func(a, b pind) int { return cmp.Compare(a.fp, b.fp) })
+	uniq := pool[:0]
+	for i, ind := range pool {
+		if i > 0 && uniq[len(uniq)-1].fp == ind.fp {
+			continue
+		}
+		uniq = append(uniq, ind)
+	}
+	rank, crowd := rankAndCrowd(axes, uniq)
+	idx := make([]int, len(uniq))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		if pindLess(rank, crowd, uniq, a, b) {
+			return -1
+		}
+		if pindLess(rank, crowd, uniq, b, a) {
+			return 1
+		}
+		return 0
+	})
+	if popSize > len(idx) {
+		popSize = len(idx)
+	}
+	out := make([]pind, popSize)
+	for i := 0; i < popSize; i++ {
+		out[i] = uniq[idx[i]]
+	}
+	return out
+}

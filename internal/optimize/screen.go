@@ -1,0 +1,141 @@
+package optimize
+
+import (
+	"cmp"
+	"slices"
+
+	"diversify/internal/malware"
+	"diversify/internal/topology"
+)
+
+// Option screening keeps grid-scale greedy search tractable: instead of
+// simulating every affordable option each round (|options| campaigns ×
+// reps), the options are ranked once by a cheap structural surrogate
+// and only the top K are simulated per round. The surrogate needs no
+// replications — it multiplies the node's path centrality between the
+// threat's entry points and its targets (the same articulation/on-path
+// machinery the strategic placement policy uses) by the resilience gain
+// of the switch, so options that harden choke points with genuinely
+// stronger variants rank first.
+
+// defaultScreenFloor and defaultScreenDivisor shape the default K:
+// option spaces up to 2×floor are searched exhaustively; larger ones
+// are screened to a quarter (never below the floor), which keeps the
+// simulated set at most half of the space.
+const (
+	defaultScreenFloor   = 24
+	defaultScreenDivisor = 4
+)
+
+// screenTop resolves the per-round simulation bound from ScreenTop.
+func (p *Problem) screenTop() int {
+	switch {
+	case p.ScreenTop < 0:
+		return len(p.Options)
+	case p.ScreenTop > 0:
+		return p.ScreenTop
+	}
+	if len(p.Options) <= 2*defaultScreenFloor {
+		return len(p.Options)
+	}
+	k := len(p.Options) / defaultScreenDivisor
+	if k < defaultScreenFloor {
+		k = defaultScreenFloor
+	}
+	return k
+}
+
+// screenScores computes the surrogate score of every option:
+//
+//	score = (1 + onPath + cutBonus + targetBonus) × resilienceGain
+//
+// where onPath counts shortest entry→target paths through the node,
+// cutBonus marks articulation points (hardening them severs attack
+// paths outright), targetBonus marks the objective's target nodes
+// (hardening the PLC itself blocks the final stage), and resilienceGain
+// is the catalog resilience delta of the switch over the node's default
+// (non-upgrades rank at or below zero). Purely structural — no
+// simulation — and deterministic for a given problem.
+func screenScores(p *Problem) []float64 {
+	nodes := p.Topo.Nodes()
+	var entries, targets []topology.NodeID
+	for _, k := range p.Profile.EntryKinds {
+		entries = append(entries, p.Topo.NodesOfKind(k)...)
+	}
+	entrySet := map[topology.NodeID]bool{}
+	for _, e := range entries {
+		entrySet[e] = true
+	}
+	// Impairment campaigns end at PLCs; espionage campaigns exfiltrate
+	// from any component-carrying node, so every non-entry carrier is a
+	// target there.
+	impairment := p.Profile.Objective == malware.ObjectiveImpairment
+	targetSet := map[topology.NodeID]bool{}
+	for _, n := range nodes {
+		if n.Kind == topology.KindPLC ||
+			(!impairment && len(n.Components) > 0 && !entrySet[n.ID]) {
+			targets = append(targets, n.ID)
+			targetSet[n.ID] = true
+		}
+	}
+	onPath := p.Topo.OnPathScores(entries, targets)
+	cuts := map[topology.NodeID]bool{}
+	for _, id := range p.Topo.ArticulationPoints() {
+		cuts[id] = true
+	}
+	maxPath := 0
+	for _, s := range onPath {
+		if s > maxPath {
+			maxPath = s
+		}
+	}
+	scores := make([]float64, len(p.Options))
+	for i, opt := range p.Options {
+		crit := 1.0
+		if maxPath > 0 {
+			crit += float64(onPath[opt.Node]) / float64(maxPath)
+		}
+		if cuts[opt.Node] {
+			crit += 1
+		}
+		if targetSet[opt.Node] {
+			crit += 0.5
+		}
+		gain := 0.0
+		if def, ok := nodes[opt.Node].Components[opt.Class]; ok {
+			dv, okD := p.Catalog.Variant(def)
+			nv, okN := p.Catalog.Variant(opt.Variant)
+			if okD && okN {
+				gain = nv.Resilience - dv.Resilience
+			}
+		}
+		scores[i] = crit * gain
+	}
+	return scores
+}
+
+// screenOrder returns the option indices greedy may simulate, ranked by
+// surrogate score descending (ties by index) and truncated to the top
+// K, then restored to ascending index order — so the screened scan
+// visits survivors exactly as the unscreened scan would and tie-breaks
+// identically.
+func screenOrder(p *Problem) []int {
+	k := p.screenTop()
+	idx := make([]int, len(p.Options))
+	for i := range idx {
+		idx[i] = i
+	}
+	if k >= len(idx) {
+		return idx
+	}
+	scores := screenScores(p)
+	slices.SortFunc(idx, func(a, b int) int {
+		if c := cmp.Compare(scores[b], scores[a]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	idx = idx[:k]
+	slices.Sort(idx)
+	return idx
+}

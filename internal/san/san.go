@@ -47,6 +47,14 @@ type Marking []int
 // Clone returns an independent copy of the marking.
 func (m Marking) Clone() Marking { return append(Marking(nil), m...) }
 
+// CopyInto copies m into dst, reusing dst's backing array when its
+// capacity suffices, and returns the destination. Replication loops use
+// it to recycle one scratch marking across runs instead of Cloning a
+// fresh one per replication (see NewSimReusing).
+func (m Marking) CopyInto(dst Marking) Marking {
+	return append(dst[:0], m...)
+}
+
 // Tokens returns the token count of place p.
 func (m Marking) Tokens(p PlaceID) int { return m[p] }
 
@@ -291,12 +299,22 @@ type Sim struct {
 // model must have been validated; NewSim re-validates and returns the
 // error, if any.
 func NewSim(model *Model, r *rng.Rand) (*Sim, error) {
+	return NewSimReusing(model, r, nil)
+}
+
+// NewSimReusing is NewSim with a caller-provided scratch marking: the
+// initial marking is CopyInto'd scratch instead of freshly Cloned, so
+// Monte-Carlo loops that build a Sim per replication can recycle one
+// buffer (per worker) across replications. The Sim owns the scratch for
+// its lifetime; once the run is over, Marking() returns it for reuse.
+// A nil scratch behaves exactly like NewSim.
+func NewSimReusing(model *Model, r *rng.Rand, scratch Marking) (*Sim, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Sim{
 		model:   model,
-		marking: model.initial.Clone(),
+		marking: model.initial.CopyInto(scratch),
 		eng:     des.NewSim(),
 		r:       r,
 		timers:  make([]des.Handle, len(model.activities)),

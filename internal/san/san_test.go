@@ -3,6 +3,7 @@ package san
 import (
 	"errors"
 	"math"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -555,5 +556,76 @@ func TestResampleExponentialEquivalence(t *testing.T) {
 	}
 	if math.Abs(res-keep) > 0.15 {
 		t.Fatalf("semantics diverge under exponential delays: keep=%v resample=%v", keep, res)
+	}
+}
+
+// CopyInto must reuse the destination's backing array when capacity
+// allows, and produce a value-identical marking either way.
+func TestMarkingCopyInto(t *testing.T) {
+	src := Marking{3, 1, 4, 1, 5}
+	dst := make(Marking, 2, 8)
+	got := src.CopyInto(dst)
+	if !slices.Equal(got, src) {
+		t.Fatalf("CopyInto = %v, want %v", got, src)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("CopyInto reallocated despite sufficient capacity")
+	}
+	got[0] = 99
+	if src[0] == 99 {
+		t.Fatal("CopyInto aliases the source")
+	}
+	if fresh := src.CopyInto(nil); !slices.Equal(fresh, src) {
+		t.Fatalf("CopyInto(nil) = %v, want %v", fresh, src)
+	}
+}
+
+// A Sim on a recycled scratch marking must replay exactly like a fresh
+// one under the same stream — the contract the replication loops in
+// scope/experiments rely on.
+func TestNewSimReusingMatchesFresh(t *testing.T) {
+	build := func() (*Model, PlaceID) {
+		m := NewModel()
+		a := m.Place("a", 3)
+		b := m.Place("b", 0)
+		c := m.Place("c", 0)
+		act := m.TimedActivity("move", rng.Exponential{Rate: 1.5}).Input(a, 1)
+		act.Case(Case{Name: "left", Prob: 0.6, Outputs: []Arc{{Place: b, Tokens: 1}}})
+		act.Case(Case{Name: "right", Prob: 0.4, Outputs: []Arc{{Place: c, Tokens: 2}}})
+		return m, b
+	}
+	var scratch Marking
+	for seed := uint64(1); seed <= 6; seed++ {
+		m, _ := build()
+		fresh, err := NewSim(m, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.KeepTrace()
+		if err := fresh.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		m2, _ := build()
+		reused, err := NewSimReusing(m2, rng.New(seed), scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused.KeepTrace()
+		if err := reused.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(fresh.Marking(), reused.Marking()) {
+			t.Fatalf("seed %d: markings diverged: %v vs %v", seed, fresh.Marking(), reused.Marking())
+		}
+		ft, rt := fresh.Trace(), reused.Trace()
+		if len(ft) != len(rt) {
+			t.Fatalf("seed %d: trace lengths %d vs %d", seed, len(ft), len(rt))
+		}
+		for i := range ft {
+			if ft[i] != rt[i] {
+				t.Fatalf("seed %d: trace[%d] %+v vs %+v", seed, i, ft[i], rt[i])
+			}
+		}
+		scratch = reused.Marking() // recycle into the next replication
 	}
 }
