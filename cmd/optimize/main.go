@@ -11,6 +11,8 @@
 //	optimize -topo grid:200 -classes PLC,Protocol -reps 8 -iterations 2 -budget 20
 //	optimize -topo grid:200 -strategy pareto -objectives cost,success,detection
 //	optimize -topo grid:100 -screen 200   # greedy, top-200 surrogate screen
+//	optimize -topo grid:60 -rotate triggered:48,periodic:72 -budget 24
+//	optimize -max-per-zone 2              # fleet cap: ≤2 platforms per class per zone
 package main
 
 import (
@@ -38,9 +40,11 @@ func run(args []string, out io.Writer) error {
 		threat     = fs.String("threat", "stuxnet", "threat profile: stuxnet, duqu, flame")
 		strategy   = fs.String("strategy", "greedy", "search strategy: greedy, anneal, genetic, portfolio, pareto")
 		classes    = fs.String("classes", "OS,PLC,Protocol", "comma-separated component classes (OS, PLC, Protocol, HMI, EngTools, Historian)")
-		objective  = fs.String("objective", "success", "minimized indicator: success, ratio, ttsf")
-		objectives = fs.String("objectives", "", "Pareto front axes, comma-separated from cost,success,detection (empty = all three)")
+		objective  = fs.String("objective", "success", "minimized indicator: success, ratio, ttsf, foothold")
+		objectives = fs.String("objectives", "", "Pareto front axes, comma-separated from cost,success,detection,foothold (empty = cost,success,detection)")
 		screen     = fs.Int("screen", 0, "options greedy simulates per round (0 = default surrogate screen, -1 = exhaustive)")
+		rotate     = fs.String("rotate", "", "comma-separated rotation schedules the search may pair with placements: policy:period[xbatch] with policy periodic, triggered or adaptive (e.g. triggered:48, periodic:24x2)")
+		maxZone    = fs.Int("max-per-zone", 0, "at most k distinct variants per component class per zone (0 = unconstrained)")
 		budget     = fs.Float64("budget", 40, "diversification budget (cost-model units)")
 		platform   = fs.Float64("platform-cost", 5, "cost per extra distinct variant per class")
 		nodeCost   = fs.Float64("node-cost", 2, "cost per node deviating from the default")
@@ -61,6 +65,8 @@ func run(args []string, out io.Writer) error {
 		Objective:  *objective,
 		Objectives: splitList(*objectives),
 		ScreenTop:  *screen,
+		Rotations:  splitList(*rotate),
+		MaxPerZone: *maxZone,
 		Budget:     *budget, PlatformCost: *platform, NodeCost: *nodeCost,
 		Iterations: *iters, Population: *pop,
 		Reps: *reps, HorizonHours: *horizon, Seed: *seed, Workers: *workers,
@@ -75,26 +81,32 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "topology=%s threat=%s strategy=%s objective=%s budget=%.0f seed=%d reps=%d\n\n",
 		*topo, *threat, res.Strategy, res.Objective, res.Budget, *seed, *reps)
-	fmt.Fprintf(out, "%-18s %-8s %-10s %-10s %-10s %-10s %-10s %-10s\n",
-		"candidate", "cost", "value", "Psuccess", "CRfinal", "TTSFmean", "Pdetect", "DetLatMean")
+	fmt.Fprintf(out, "%-18s %-8s %-10s %-10s %-10s %-10s %-10s %-10s %-10s %-8s %-8s\n",
+		"candidate", "cost", "value", "Psuccess", "CRfinal", "TTSFmean", "Pdetect", "DetLatMean", "Foothold", "Rot", "Reinf")
 	row := func(name string, s diversify.OptimizeScore) {
-		fmt.Fprintf(out, "%-18s %-8.1f %-10.4f %-10.3f %-10.3f %-10.1f %-10.3f %-10.1f\n",
-			name, s.Cost, s.Value, s.PSuccess, s.FinalRatio, s.MeanTTSF, s.PDetect, s.MeanDetLatency)
+		fmt.Fprintf(out, "%-18s %-8.1f %-10.4f %-10.3f %-10.3f %-10.1f %-10.3f %-10.1f %-10.1f %-8.1f %-8.2f\n",
+			name, s.Cost, s.Value, s.PSuccess, s.FinalRatio, s.MeanTTSF, s.PDetect, s.MeanDetLatency,
+			s.MeanFoothold, s.MeanRotations, s.MeanReinfections)
 	}
 	row("baseline", res.Baseline)
 	row("random-placement", res.Random)
 	row("best-found", res.Best)
-	fmt.Fprintf(out, "\nbest assignment (%d decisions, fingerprint %016x):\n",
+	fmt.Fprintf(out, "\nbest schedule: %s\n", res.BestRotation)
+	fmt.Fprintf(out, "best assignment (%d decisions, fingerprint %016x):\n",
 		len(res.Decisions), res.BestFingerprint)
 	for _, d := range res.Decisions {
 		fmt.Fprintf(out, "  %-18s %-12s -> %s\n", d.Node, d.Class, d.Variant)
 	}
-	fmt.Fprintf(out, "\ncost × success × detection Pareto front (%d points):\n", len(res.Pareto))
-	fmt.Fprintf(out, "  %-8s %-10s %-10s %-10s %-10s %-10s\n",
-		"cost", "value", "Psuccess", "Pdetect", "DetLatMean", "decisions")
+	axes := splitList(*objectives)
+	if len(axes) == 0 {
+		axes = []string{"cost", "success", "detection"}
+	}
+	fmt.Fprintf(out, "\n%s Pareto front (%d points):\n", strings.Join(axes, " × "), len(res.Pareto))
+	fmt.Fprintf(out, "  %-8s %-10s %-10s %-10s %-10s %-14s %-10s\n",
+		"cost", "value", "Psuccess", "Pdetect", "DetLatMean", "schedule", "decisions")
 	for _, p := range res.Pareto {
-		fmt.Fprintf(out, "  %-8.1f %-10.4f %-10.3f %-10.3f %-10.1f %d\n",
-			p.Cost, p.Value, p.PSuccess, p.PDetect, p.MeanDetLatency, len(p.Decisions))
+		fmt.Fprintf(out, "  %-8.1f %-10.4f %-10.3f %-10.3f %-10.1f %-14s %d\n",
+			p.Cost, p.Value, p.PSuccess, p.PDetect, p.MeanDetLatency, p.Rotation, len(p.Decisions))
 	}
 	fmt.Fprintf(out, "\nsearch: %d steps, %d candidates simulated (%d replications), cache hits %d\n",
 		len(res.Trace), res.Evaluations, res.Replications, res.CacheHits)

@@ -208,3 +208,66 @@ func TestScreenFlagCLI(t *testing.T) {
 		t.Fatalf("screened grid run produced no report:\n%s", buf.String())
 	}
 }
+
+// -rotate adds the schedule dimension: the search may pair placements
+// with rotation policies, rotation columns appear, the winning schedule
+// is reported, and bad selectors error.
+func TestRotateFlagCLI(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-topo", "grid:60", "-objective", "foothold", "-budget", "30",
+		"-reps", "8", "-horizon", "240", "-seed", "7",
+		"-rotate", "triggered,adaptive:24x2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"best schedule:", "Foothold", "Reinf", "schedule"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rotated output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "best schedule: adaptive:24x2") {
+		t.Fatalf("expected the adaptive schedule to win at this seed:\n%s", out)
+	}
+	for _, bad := range []string{"hourly:4", "periodic:", "periodic:0", "triggered:12x0"} {
+		if err := run([]string{"-rotate", bad, "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+			t.Errorf("rotate %q: expected error", bad)
+		}
+	}
+}
+
+// -max-per-zone constrains the search; an unconstrained run on the same
+// seed may use more distinct variants than the capped one.
+func TestMaxPerZoneFlagCLI(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-topo", "powergrid", "-budget", "20", "-reps", "4", "-horizon", "120",
+		"-iterations", "4", "-seed", "2", "-max-per-zone", "2", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best_rotation") {
+		t.Fatalf("JSON output missing best_rotation:\n%s", buf.String())
+	}
+	if err := run([]string{"-max-per-zone", "-3", "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+		t.Error("negative -max-per-zone accepted")
+	}
+}
+
+// -objective foothold selects the intruder-dwell indicator.
+func TestFootholdObjectiveCLI(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-topo", "powergrid", "-objective", "foothold", "-budget", "12",
+		"-reps", "4", "-horizon", "120", "-iterations", "2", "-seed", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "min-foothold") {
+		t.Fatalf("output missing min-foothold objective:\n%s", buf.String())
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"diversify/internal/indicators"
 	"diversify/internal/malware"
 	"diversify/internal/optimize"
+	"diversify/internal/rotation"
 	"diversify/internal/scope"
 	"diversify/internal/topology"
 )
@@ -211,8 +212,10 @@ type OptimizeConfig struct {
 	// OS + PLC + Protocol.
 	Classes []string
 	// Objective selects the minimized indicator: "success" (default,
-	// attack-success probability), "ratio" (final compromised ratio) or
-	// "ttsf" (maximize time-to-security-failure).
+	// attack-success probability), "ratio" (final compromised ratio),
+	// "ttsf" (maximize time-to-security-failure) or "foothold" (minimize
+	// the mean intruder foothold time — the objective that rewards
+	// moving-target eviction, not just prevention).
 	Objective string
 	// Objectives selects the axes of the reported Pareto front and of
 	// the "pareto" strategy's dominance comparisons, from "cost",
@@ -222,6 +225,16 @@ type OptimizeConfig struct {
 	// simulates per round: 0 applies the default screen on large option
 	// spaces, negative disables screening, positive pins K.
 	ScreenTop int
+	// Rotations adds the dynamic-diversity (moving-target) dimension:
+	// each entry is a rotation-schedule selector ("periodic:24",
+	// "triggered:48x2", "adaptive:72") any placement may be paired with;
+	// the schedule's planned cost over the horizon competes with
+	// placement spend under the same Budget. Empty = static-only search.
+	Rotations []string
+	// MaxPerZone, when positive, allows at most this many distinct
+	// variants per component class within each topology zone (the
+	// fleet-management constraint beyond the budget).
+	MaxPerZone int
 	// Budget caps the cost model; PlatformCost prices each extra distinct
 	// variant per class (default 5), NodeCost each deviating node
 	// (default 2).
@@ -326,8 +339,10 @@ func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
 		objective = optimize.MinimizeRatio
 	case "ttsf":
 		objective = optimize.MaximizeTTSF
+	case "foothold":
+		objective = optimize.MinimizeFoothold
 	default:
-		return nil, fmt.Errorf("diversify: unknown objective %q (want success, ratio or ttsf)", cfg.Objective)
+		return nil, fmt.Errorf("diversify: unknown objective %q (want success, ratio, ttsf or foothold)", cfg.Objective)
 	}
 	strategy := cfg.Strategy
 	if strategy == "" {
@@ -343,6 +358,14 @@ func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
 	cat := exploits.StuxnetCatalog()
 	filter := func(n topology.Node) bool { return n.Kind != topology.KindCorporatePC }
 	options := diversity.EnumerateOptions(topo, cat, classes, filter)
+	var rotations []rotation.Spec
+	for _, sel := range cfg.Rotations {
+		spec, err := rotation.ParseSpec(sel)
+		if err != nil {
+			return nil, err
+		}
+		rotations = append(rotations, spec)
+	}
 	platform, node := cfg.PlatformCost, cfg.NodeCost
 	if platform <= 0 {
 		platform = 5
@@ -355,10 +378,12 @@ func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
 		Options:   options,
 		Cost:      diversity.CostModel{PlatformCost: platform, NodeCost: node},
 		Budget:    cfg.Budget,
-		Objective: objective,
-		Axes:      axes,
-		ScreenTop: cfg.ScreenTop,
-		Horizon:   cfg.HorizonHours,
+		Objective:  objective,
+		Axes:       axes,
+		ScreenTop:  cfg.ScreenTop,
+		Rotations:  rotations,
+		MaxPerZone: cfg.MaxPerZone,
+		Horizon:    cfg.HorizonHours,
 		Reps:      cfg.Reps, Workers: cfg.Workers, Seed: cfg.Seed,
 		Iterations: cfg.Iterations, Population: cfg.Population,
 	}, opt)

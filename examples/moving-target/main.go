@@ -1,0 +1,120 @@
+// Moving-target walkthrough: the paper deploys its diversity once and
+// leaves it static; the dynamic-network-diversity literature (Chen et
+// al.) argues the defender should keep MOVING — rotating variants while
+// the intruder is inside, evicting footholds faster than they rebuild.
+//
+// This example runs the placement optimizer twice on a 60-substation
+// meshed grid with heterogeneous regions (a dense metro region, a
+// mid-size one and a small legacy pocket, via MeshedGridSpec.RegionSizes):
+//
+//  1. static search — placements only, the PR-4 behavior;
+//  2. moving-target search — the same budget, but the optimizer may
+//     pair any placement with a rotation schedule (reactive
+//     "triggered:48" and budget-capped "adaptive:24x2").
+//
+// Both minimize the mean intruder foothold (aggregate dwell in
+// node-hours). The static search saturates early: after hardening the
+// two choke points, additional placement budget buys nothing, and the
+// attacker's entry machines stay compromised to the horizon. The
+// moving-target search converts the leftover budget into eviction — the
+// winning candidate keeps the same two hardened choke points and adds
+// the adaptive rotation schedule, cutting aggregate dwell several-fold
+// at the same total budget while forcing the attacker into re-infection
+// churn.
+//
+//	go run ./examples/moving-target
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/malware"
+	"diversify/internal/optimize"
+	"diversify/internal/rotation"
+	"diversify/internal/topology"
+)
+
+const (
+	budget  = 30.0
+	horizon = 240.0 // 10-day observation window
+	reps    = 16
+	seed    = 7
+)
+
+func main() {
+	start := time.Now()
+	spec := topology.DefaultMeshedGridSpec(0)
+	// Heterogeneous regions: 30-substation metro, 20-substation mid,
+	// 10-substation legacy pocket.
+	spec.RegionSizes = []int{30, 20, 10}
+	topo := topology.NewMeshedGrid(spec)
+	cat := exploits.StuxnetCatalog()
+	if err := topo.ValidateComponents(cat); err != nil {
+		log.Fatal(err)
+	}
+	profile := malware.StuxnetProfile()
+	options := diversity.EnumerateOptions(topo, cat,
+		[]exploits.Class{exploits.ClassOS, exploits.ClassPLCFirmware, exploits.ClassProtocol},
+		func(n topology.Node) bool { return n.Kind != topology.KindCorporatePC })
+	problem := optimize.Problem{
+		Topo: topo, Catalog: cat, Profile: profile,
+		Options:   options,
+		Cost:      diversity.CostModel{PlatformCost: 5, NodeCost: 2},
+		Budget:    budget,
+		Objective: optimize.MinimizeFoothold,
+		Horizon:   horizon,
+		Reps:      reps,
+		Seed:      seed,
+	}
+	fmt.Printf("meshed grid: regions %v, %d nodes, %d options, budget %.0f, objective min-foothold\n\n",
+		spec.RegionSizes, topo.Len(), len(options), budget)
+
+	report := func(label string, res *optimize.Result, elapsed time.Duration) {
+		fmt.Printf("%s  [%v]\n", label, elapsed.Round(time.Millisecond))
+		fmt.Printf("  best: cost %-5.1f foothold %-8.1f node-h   Psuccess %-6.3f rotations/rep %-5.1f reinfections/rep %-5.2f\n",
+			res.Best.Cost, res.Best.MeanFoothold, res.Best.PSuccess,
+			res.Best.MeanRotations, res.Best.MeanReinfections)
+		fmt.Printf("  schedule: %s, placements:\n", res.BestRotation)
+		for _, d := range res.Decisions {
+			fmt.Printf("    %-18s %-12s -> %s\n", d.Node, d.Class, d.Variant)
+		}
+		fmt.Println()
+	}
+
+	// 1. Static-optimal: the PR-4 search, placements only.
+	t0 := time.Now()
+	static, err := optimize.Run(problem, &optimize.Greedy{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("static placement search", static, time.Since(t0))
+
+	// 2. Moving-target: same budget, schedules in the search space.
+	rotated := problem
+	rotated.Rotations = []rotation.Spec{
+		{Kind: rotation.Triggered, Period: 48},
+		{Kind: rotation.Adaptive, Period: 24, Batch: 2, Downtime: 2},
+	}
+	t0 = time.Now()
+	moving, err := optimize.Run(rotated, &optimize.Greedy{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("moving-target search (placement × schedule)", moving, time.Since(t0))
+
+	fmt.Printf("aggregate intruder dwell: %.1f -> %.1f node-hours (%.1fx lower) at the same %.0f budget\n",
+		static.Best.MeanFoothold, moving.Best.MeanFoothold,
+		static.Best.MeanFoothold/moving.Best.MeanFoothold, budget)
+	fmt.Println("\nreading: the static search saturates at the two choke-point placements —")
+	fmt.Println("more placement budget buys nothing, and whatever the attacker infects stays")
+	fmt.Println("infected until the horizon. The moving-target search spends the leftover on")
+	fmt.Println("an adaptive rotation schedule that keeps reimaging the exposed machines:")
+	fmt.Println("same placements, same budget, but the intruder now has to re-earn every")
+	fmt.Println("foothold the rotation evicts — the dynamic-diversity dividend Chen et al.")
+	fmt.Println("quantify, discovered here by the optimizer itself.")
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -33,7 +33,7 @@ func (an *Anneal) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 		iters = 300
 	}
 	ms := newMoveSpace(p)
-	current := p.base()
+	current := p.baseCand()
 	cur, err := ev.Score(current)
 	if err != nil {
 		return nil, err
@@ -55,13 +55,22 @@ func (an *Anneal) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 	temp := t0
 	for it := 0; it < iters; it++ {
 		cand := current.Clone()
-		action := ms.mutate(cand, r)
+		action := ms.mutate(&cand, r)
 		if cost := ev.Cost(cand); cost > p.Budget+budgetEps {
 			// Infeasible proposals are rejected without spending
 			// replications; Value keeps the incumbent's value.
 			trace = append(trace, TraceStep{
 				Iter: it, Action: action + " [over budget]",
 				Cost: cost, Value: cur.Value, Best: best, Accepted: false,
+			})
+			temp *= alpha
+			continue
+		}
+		if !ev.ZoneOK(cand.A) {
+			// Same fast rejection for zone-constraint violations.
+			trace = append(trace, TraceStep{
+				Iter: it, Action: action + " [zone cap]",
+				Cost: cur.Cost, Value: cur.Value, Best: best, Accepted: false,
 			})
 			temp *= alpha
 			continue

@@ -57,13 +57,14 @@ func BenchmarkEvalCache(b *testing.B) {
 	a := p.base()
 	p.Options[0].Apply(a)
 	p.Options[len(p.Options)-1].Apply(a)
-	if _, err := ev.Score(a); err != nil {
+	cand := Candidate{A: a, Rot: -1}
+	if _, err := ev.Score(cand); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.Score(a); err != nil {
+		if _, err := ev.Score(cand); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,13 +86,13 @@ func BenchmarkEvalMiss(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	a := p.base()
+	cand := Candidate{A: p.base(), Rot: -1}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		delete(ev.cache, a.Fingerprint())
+		delete(ev.cache, cand.fingerprint(ev.rotFPs))
 		ev.archive = ev.archive[:0]
-		if _, err := ev.Score(a); err != nil {
+		if _, err := ev.Score(cand); err != nil {
 			b.Fatal(err)
 		}
 	}

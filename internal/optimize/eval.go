@@ -9,17 +9,22 @@ import (
 	"diversify/internal/indicators"
 	"diversify/internal/malware"
 	"diversify/internal/rng"
+	"diversify/internal/rotation"
 )
 
-// candidate is one archived evaluation (the assignment snapshot feeds the
+// archived is one archived evaluation (the candidate snapshot feeds the
 // Pareto front and best-candidate extraction).
-type candidate struct {
+type archived struct {
 	fingerprint uint64
-	assignment  *diversity.Assignment
+	cand        Candidate
 	score       Score
+	// zoneOK caches the MaxPerZone feasibility verdict, so extraction and
+	// front-building never surface a constraint-violating candidate the
+	// search happened to evaluate.
+	zoneOK bool
 }
 
-// Evaluator turns assignments into Scores by Monte-Carlo campaign
+// Evaluator turns candidates into Scores by Monte-Carlo campaign
 // simulation. It owns
 //
 //   - a pool of workers, each holding ONE reusable malware.Campaign
@@ -28,10 +33,15 @@ type candidate struct {
 //   - a fixed vector of per-replication stream seeds, so every candidate
 //     is measured under common random numbers (identical attack luck),
 //     which makes candidate comparisons variance-reduced and the score a
-//     pure function of the assignment;
-//   - a memoization cache keyed by assignment fingerprint, so a candidate
-//     revisited by annealing or genetic recombination is never
-//     re-simulated.
+//     pure function of the candidate;
+//   - per-worker rotation engines for every schedule in
+//     Problem.Rotations, built lazily the first time a schedule is
+//     simulated (engine state is per-campaign; sharing one across
+//     workers would race) — campaigns swap between rotated and static
+//     candidates via Campaign.SetRotation;
+//   - a memoization cache keyed by candidate fingerprint (assignment ×
+//     schedule), so a candidate revisited by annealing or genetic
+//     recombination is never re-simulated.
 //
 // Score calls must come from one goroutine (the strategy loop); the
 // internal fan-out across workers is the only concurrency.
@@ -44,8 +54,13 @@ type Evaluator struct {
 	camps    []*malware.Campaign
 	rands    []*rng.Rand
 
+	// rotFPs[i] digests p.Rotations[i]; rotors[i][w] is worker w's engine
+	// for schedule i (nil column until first use).
+	rotFPs []uint64
+	rotors [][]*rotation.Engine
+
 	cache   map[uint64]Score
-	archive []candidate
+	archive []archived
 	hits    int
 	misses  int
 
@@ -58,6 +73,13 @@ type Evaluator struct {
 	ratioBuf []float64
 	dwellBuf []float64
 	dcntBuf  []int
+	fhBuf    []float64
+	rotBuf   []int
+	reinfBuf []int
+	rcostBuf []float64
+
+	// zoneBuf is the reusable scratch for MaxPerZone violation scans.
+	zoneBuf []diversity.Entry
 }
 
 // newEvaluator prepares the worker pool for a normalized, validated
@@ -88,6 +110,8 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 		batch:    batch,
 		camps:    make([]*malware.Campaign, w),
 		rands:    make([]*rng.Rand, w),
+		rotFPs:   make([]uint64, len(p.Rotations)),
+		rotors:   make([][]*rotation.Engine, len(p.Rotations)),
 		cache:    map[uint64]Score{},
 		succBuf:  make([]bool, p.Reps),
 		detBuf:   make([]bool, p.Reps),
@@ -95,6 +119,13 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 		ratioBuf: make([]float64, p.Reps),
 		dwellBuf: make([]float64, p.Reps),
 		dcntBuf:  make([]int, p.Reps),
+		fhBuf:    make([]float64, p.Reps),
+		rotBuf:   make([]int, p.Reps),
+		reinfBuf: make([]int, p.Reps),
+		rcostBuf: make([]float64, p.Reps),
+	}
+	for i, spec := range p.Rotations {
+		ev.rotFPs[i] = spec.Fingerprint()
 	}
 	for i := range ev.rands {
 		ev.rands[i] = rng.New(0) // reseeded before every replication
@@ -107,34 +138,75 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 	if _, err := malware.NewCampaign(probe); err != nil {
 		return nil, err
 	}
+	// And on unusable rotation schedules (missing variants, empty
+	// candidate sets) before any strategy pairs a placement with one.
+	for i := range p.Rotations {
+		if _, err := rotation.NewEngine(p.Rotations[i], p.Topo, p.Catalog, p.Profile); err != nil {
+			return nil, err
+		}
+	}
 	return ev, nil
 }
 
-// Cost prices a candidate without simulating it — strategies use it to
+// Cost prices a candidate without simulating it — the placement cost
+// plus the schedule's planned rotation cost. Strategies use it to
 // screen infeasible moves before spending replications.
-func (e *Evaluator) Cost(a *diversity.Assignment) float64 {
-	return e.p.Cost.Cost(e.p.Topo, a)
+func (e *Evaluator) Cost(c Candidate) float64 {
+	cost := e.p.Cost.Cost(e.p.Topo, c.A)
+	if c.Rot >= 0 {
+		cost += e.p.Rotations[c.Rot].PlannedCost(e.p.Horizon)
+	}
+	return cost
+}
+
+// ZoneOK reports the MaxPerZone feasibility of a placement (true when
+// the constraint is disabled). Like Cost it needs no simulation.
+func (e *Evaluator) ZoneOK(a *diversity.Assignment) bool {
+	e.zoneBuf = zoneViolations(e.p, a, e.zoneBuf)
+	return len(e.zoneBuf) == 0
+}
+
+// engines returns the per-worker rotation engines for schedule rot,
+// building the column on first use.
+func (e *Evaluator) engines(rot int) ([]*rotation.Engine, error) {
+	if e.rotors[rot] == nil {
+		col := make([]*rotation.Engine, e.nWorkers)
+		for w := range col {
+			eng, err := rotation.NewEngine(e.p.Rotations[rot], e.p.Topo, e.p.Catalog, e.p.Profile)
+			if err != nil {
+				return nil, err
+			}
+			col[w] = eng
+		}
+		e.rotors[rot] = col
+	}
+	return e.rotors[rot], nil
 }
 
 // Score evaluates a candidate, consulting the fingerprint cache first.
-// The returned Score is identical for identical assignments regardless of
-// evaluation order or worker count. The assignment is snapshotted, so the
+// The returned Score is identical for identical candidates regardless of
+// evaluation order or worker count. The candidate is snapshotted, so the
 // caller may keep mutating it.
-func (e *Evaluator) Score(a *diversity.Assignment) (Score, error) {
-	fp := a.Fingerprint()
+func (e *Evaluator) Score(c Candidate) (Score, error) {
+	fp := c.fingerprint(e.rotFPs)
 	if s, ok := e.cache[fp]; ok {
 		e.hits++
 		return s, nil
 	}
 	e.misses++
-	s, err := e.simulate(a)
+	s, err := e.simulate(c)
 	if err != nil {
 		return Score{}, err
 	}
-	s.Cost = e.Cost(a)
+	s.Cost = e.Cost(c)
 	s.Value = e.value(s)
 	e.cache[fp] = s
-	e.archive = append(e.archive, candidate{fingerprint: fp, assignment: a.Clone(), score: s})
+	e.archive = append(e.archive, archived{
+		fingerprint: fp,
+		cand:        c.Clone(),
+		score:       s,
+		zoneOK:      e.ZoneOK(c.A),
+	})
 	return s, nil
 }
 
@@ -145,6 +217,8 @@ func (e *Evaluator) value(s Score) float64 {
 		return s.FinalRatio
 	case MaximizeTTSF:
 		return -s.MeanTTSF
+	case MinimizeFoothold:
+		return s.MeanFoothold
 	default: // MinimizeSuccess
 		return s.PSuccess + 1e-3*s.FinalRatio
 	}
@@ -157,8 +231,15 @@ func (e *Evaluator) value(s Score) float64 {
 // every candidate replays the same reseeded per-replication streams
 // (common random numbers). A behavioral change in either fan-out should
 // be considered for the other.
-func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
-	assignFn := a.Func()
+func (e *Evaluator) simulate(c Candidate) (Score, error) {
+	assignFn := c.A.Func()
+	var engs []*rotation.Engine
+	if c.Rot >= 0 {
+		var err error
+		if engs, err = e.engines(c.Rot); err != nil {
+			return Score{}, err
+		}
+	}
 	errs := make([]error, e.nWorkers)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -196,6 +277,11 @@ func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 					} else {
 						camp.Reset(assignFn, r)
 					}
+					if engs != nil {
+						camp.SetRotation(engs[w])
+					} else {
+						camp.SetRotation(nil)
+					}
 					out, err := camp.Run(e.p.Horizon)
 					if err != nil {
 						errs[w] = err
@@ -211,6 +297,10 @@ func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 					e.ratioBuf[i] = indicators.RatioAt(out.Compromised, out.Horizon)
 					e.dwellBuf[i] = out.DwellTime()
 					e.dcntBuf[i] = out.Detections
+					e.fhBuf[i] = out.FootholdTime
+					e.rotBuf[i] = out.Rotations
+					e.reinfBuf[i] = out.Reinfections
+					e.rcostBuf[i] = out.RotationCost
 				}
 			}
 		}(w)
@@ -224,7 +314,7 @@ func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 	// Aggregate in replication order: float accumulation is then
 	// independent of the worker count.
 	var s Score
-	succ, det, dcnt := 0, 0, 0
+	succ, det, dcnt, rot, reinf := 0, 0, 0, 0, 0
 	for i := 0; i < e.p.Reps; i++ {
 		if e.succBuf[i] {
 			succ++
@@ -233,9 +323,13 @@ func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 			det++
 		}
 		dcnt += e.dcntBuf[i]
+		rot += e.rotBuf[i]
+		reinf += e.reinfBuf[i]
 		s.MeanTTSF += e.ttsfBuf[i]
 		s.FinalRatio += e.ratioBuf[i]
 		s.MeanDetLatency += e.dwellBuf[i]
+		s.MeanFoothold += e.fhBuf[i]
+		s.MeanRotationCost += e.rcostBuf[i]
 	}
 	n := float64(e.p.Reps)
 	s.PSuccess = float64(succ) / n
@@ -244,18 +338,23 @@ func (e *Evaluator) simulate(a *diversity.Assignment) (Score, error) {
 	s.FinalRatio /= n
 	s.MeanDetLatency /= n
 	s.MeanDetections = float64(dcnt) / n
+	s.MeanFoothold /= n
+	s.MeanRotations = float64(rot) / n
+	s.MeanReinfections = float64(reinf) / n
+	s.MeanRotationCost /= n
 	return s, nil
 }
 
-// bestFeasible returns the best archived candidate within budget; equal
-// values prefer the cheaper assignment, remaining ties keep the earliest
-// evaluated (deterministic). The baseline is always in the archive, so
-// the result is never worse than it.
-func (e *Evaluator) bestFeasible(budget float64) (Score, *diversity.Assignment, uint64) {
-	var best candidate
+// bestFeasible returns the best archived candidate within budget (and
+// within the zone constraint); equal values prefer the cheaper
+// candidate, remaining ties keep the earliest evaluated (deterministic).
+// The baseline is always in the archive, so the result is never worse
+// than it.
+func (e *Evaluator) bestFeasible(budget float64) (Score, Candidate, uint64) {
+	var best archived
 	found := false
 	for _, c := range e.archive {
-		if c.score.Cost > budget+budgetEps {
+		if c.score.Cost > budget+budgetEps || !c.zoneOK {
 			continue
 		}
 		better := !found || c.score.Value < best.score.Value ||
@@ -266,9 +365,9 @@ func (e *Evaluator) bestFeasible(budget float64) (Score, *diversity.Assignment, 
 		}
 	}
 	if !found {
-		return Score{}, nil, 0
+		return Score{}, Candidate{Rot: -1}, 0
 	}
-	return best.score, best.assignment, best.fingerprint
+	return best.score, best.cand, best.fingerprint
 }
 
 // newSearchRand derives an independent deterministic stream for one

@@ -28,7 +28,7 @@ type Genetic struct {
 func (*Genetic) Name() string { return "genetic" }
 
 type indiv struct {
-	a  *diversity.Assignment
+	c  Candidate
 	s  Score
 	fp uint64
 }
@@ -56,29 +56,26 @@ func (g *Genetic) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 		tk = 3
 	}
 	ms := newMoveSpace(p)
-	score := func(members []*diversity.Assignment) ([]indiv, error) {
+	score := func(members []Candidate) ([]indiv, error) {
 		out := make([]indiv, len(members))
-		for i, a := range members {
-			s, err := ev.Score(a)
+		for i, c := range members {
+			s, err := ev.Score(c)
 			if err != nil {
 				return nil, err
 			}
-			out[i] = indiv{a: a, s: s, fp: a.Fingerprint()}
+			out[i] = indiv{c: c, s: s, fp: c.fingerprint(ev.rotFPs)}
 		}
 		return out, nil
 	}
 	// Seed population: the incumbent plus random feasible fills of varying
-	// intensity.
-	members := make([]*diversity.Assignment, 0, popSize)
-	members = append(members, p.base())
+	// intensity (with a uniformly drawn schedule when the problem has a
+	// rotation dimension).
+	members := make([]Candidate, 0, popSize)
+	members = append(members, p.baseCand())
 	for len(members) < popSize {
-		a := p.base()
-		k := 1 + r.Intn(max(1, len(p.Options)/3))
-		for j := 0; j < k; j++ {
-			p.Options[r.Intn(len(p.Options))].Apply(a)
-		}
-		ms.repair(a, r)
-		members = append(members, a)
+		c := randomCandidate(p, r)
+		ms.repair(&c, ev, r)
+		members = append(members, c)
 	}
 	pop, err := score(members)
 	if err != nil {
@@ -111,17 +108,17 @@ func (g *Genetic) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 			Cost:   pop[0].s.Cost, Value: pop[0].s.Value, Best: pop[0].s.Value,
 			Accepted: true,
 		})
-		next := make([]*diversity.Assignment, 0, popSize)
+		next := make([]Candidate, 0, popSize)
 		for i := 0; i < elite; i++ {
-			next = append(next, pop[i].a.Clone())
+			next = append(next, pop[i].c.Clone())
 		}
 		for len(next) < popSize {
 			p1, p2 := tournament(), tournament()
-			child := crossover(p1.a, p2.a, r)
+			child := crossover(p1.c, p2.c, r)
 			if r.Bool(mutProb) {
-				ms.mutate(child, r)
+				ms.mutate(&child, r)
 			}
-			ms.repair(child, r)
+			ms.repair(&child, ev, r)
 			next = append(next, child)
 		}
 		if pop, err = score(next); err != nil {
@@ -138,11 +135,29 @@ func (g *Genetic) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 	return trace, nil
 }
 
-// crossover recombines two overlays uniformly: for every (node, class)
-// decided by either parent, the child inherits one parent's state —
-// including "absent" (topology default). Keys are visited in canonical
-// order so recombination is deterministic.
-func crossover(a, b *diversity.Assignment, r *rng.Rand) *diversity.Assignment {
+// randomCandidate builds one random feasible fill: a burst of random
+// options over the base placement, paired with a uniformly drawn
+// schedule (including "static") when the problem has a rotation
+// dimension. Callers repair the result back under the constraints.
+func randomCandidate(p *Problem, r *rng.Rand) Candidate {
+	c := Candidate{A: p.base(), Rot: -1}
+	k := 1 + r.Intn(max(1, len(p.Options)/3))
+	for j := 0; j < k; j++ {
+		p.Options[r.Intn(len(p.Options))].Apply(c.A)
+	}
+	if len(p.Rotations) > 0 {
+		c.Rot = r.Intn(len(p.Rotations)+1) - 1
+	}
+	return c
+}
+
+// crossover recombines two candidates: overlays uniformly — for every
+// (node, class) decided by either parent, the child inherits one
+// parent's state, including "absent" (topology default) — and the
+// schedule from a fair-coin parent. Keys are visited in canonical order
+// so recombination is deterministic.
+func crossover(ca, cb Candidate, r *rng.Rand) Candidate {
+	a, b := ca.A, cb.A
 	child := diversity.NewAssignment()
 	ea, eb := a.Entries(), b.Entries()
 	i, j := 0, 0
@@ -180,5 +195,9 @@ func crossover(a, b *diversity.Assignment, r *rng.Rand) *diversity.Assignment {
 			take(e, b)
 		}
 	}
-	return child
+	rot := ca.Rot
+	if r.Bool(0.5) {
+		rot = cb.Rot
+	}
+	return Candidate{A: child, Rot: rot}
 }

@@ -8,16 +8,16 @@ import (
 	"diversify/internal/rng"
 )
 
-// Greedy is marginal-gain placement: every round it tentatively applies
-// each affordable option to the incumbent, keeps the one with the best
-// objective-improvement-per-unit-cost ratio, and stops when no affordable
-// option improves the objective (or the round bound is hit). With a
-// memoizing evaluator each round costs at most |Options| simulations —
-// and on large option spaces (Problem.ScreenTop) only the top-K options
-// by the structural screening surrogate are simulated per round, which
-// keeps grid-scale rounds a quarter of their exhaustive cost. The
-// screened survivors are scanned in ascending option order, exactly as
-// the exhaustive scan would visit them, so ties resolve identically.
+// Greedy is marginal-gain placement-and-schedule search: every round it
+// tentatively applies each affordable option to the incumbent — the
+// surrogate-screened placement switches plus, when the problem carries
+// rotation schedules, switching the incumbent to each other schedule —
+// keeps the move with the best objective-improvement-per-unit-cost
+// ratio, and stops when no affordable move improves the objective (or
+// the round bound is hit). With a memoizing evaluator each round costs
+// at most |screened options| + |schedules| simulations. The screened
+// survivors are scanned in ascending option order, exactly as the
+// exhaustive scan would visit them, so ties resolve identically.
 type Greedy struct{}
 
 // Name implements Optimizer.
@@ -25,63 +25,100 @@ func (*Greedy) Name() string { return "greedy" }
 
 // Search implements Optimizer. Greedy is deterministic and ignores r.
 func (*Greedy) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
-	current := p.base()
+	trace, _, err := greedySearch(p, ev, p.Iterations)
+	return trace, err
+}
+
+// greedySearch runs the marginal-gain loop and additionally returns the
+// incumbent candidate after every accepted round — the trajectory the
+// NSGA-II strategy seeds its population from.
+func greedySearch(p *Problem, ev *Evaluator, maxRounds int) ([]TraceStep, []Candidate, error) {
+	current := p.baseCand()
 	cur, err := ev.Score(current)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	maxRounds := p.Iterations
 	if maxRounds <= 0 {
-		maxRounds = len(p.Options)
+		maxRounds = len(p.Options) + len(p.Rotations)
 	}
 	order := screenOrder(p)
 	nodes := p.Topo.Nodes()
 	var trace []TraceStep
+	var incumbents []Candidate
 	for round := 0; round < maxRounds; round++ {
-		bestIdx := -1
+		// bestIdx >= 0 selects an option; bestRot != current.Rot (with
+		// bestIdx == -1) selects a schedule switch.
+		bestIdx, bestRot := -1, current.Rot
+		found := false
 		bestRatio := 0.0
 		var bestScore Score
+		consider := func(s Score, idx, rot int) {
+			if gain := cur.Value - s.Value; gain > 0 {
+				ratio := gain / math.Max(s.Cost-cur.Cost, 1e-9)
+				if !found || ratio > bestRatio {
+					found, bestIdx, bestRot, bestRatio, bestScore = true, idx, rot, ratio, s
+				}
+			}
+		}
 		for _, i := range order {
 			opt := p.Options[i]
 			// Skip no-ops: the node already runs this variant.
-			if v, ok := diversity.EffectiveVariant(current, nodes[opt.Node], opt.Class); ok && v == opt.Variant {
+			if v, ok := diversity.EffectiveVariant(current.A, nodes[opt.Node], opt.Class); ok && v == opt.Variant {
 				continue
 			}
-			prev, had := current.Lookup(opt.Node, opt.Class)
-			opt.Apply(current)
-			cost := ev.Cost(current)
-			if cost <= p.Budget+budgetEps {
+			prev, had := current.A.Lookup(opt.Node, opt.Class)
+			opt.Apply(current.A)
+			if ev.Cost(current) <= p.Budget+budgetEps && ev.ZoneOK(current.A) {
 				s, err := ev.Score(current)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
-				if gain := cur.Value - s.Value; gain > 0 {
-					ratio := gain / math.Max(cost-cur.Cost, 1e-9)
-					if bestIdx == -1 || ratio > bestRatio {
-						bestIdx, bestRatio, bestScore = i, ratio, s
-					}
-				}
+				consider(s, i, current.Rot)
 			}
 			if had {
-				current.Set(opt.Node, opt.Class, prev)
+				current.A.Set(opt.Node, opt.Class, prev)
 			} else {
-				current.Unset(opt.Node, opt.Class)
+				current.A.Unset(opt.Node, opt.Class)
 			}
 		}
-		if bestIdx == -1 {
-			break // no affordable option improves the objective
+		// Schedule switches: pair the incumbent placement with every other
+		// schedule (and with none).
+		for rot := -1; rot < len(p.Rotations); rot++ {
+			if rot == current.Rot {
+				continue
+			}
+			cand := Candidate{A: current.A, Rot: rot}
+			if ev.Cost(cand) > p.Budget+budgetEps {
+				continue
+			}
+			s, err := ev.Score(cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			consider(s, -1, rot)
 		}
-		chosen := p.Options[bestIdx]
-		chosen.Apply(current)
+		if !found {
+			break // no affordable move improves the objective
+		}
+		action := ""
+		if bestIdx >= 0 {
+			chosen := p.Options[bestIdx]
+			chosen.Apply(current.A)
+			action = fmt.Sprintf("apply %s:%s=%s", nodes[chosen.Node].Name, chosen.Class, chosen.Variant)
+		} else {
+			current.Rot = bestRot
+			action = "rotate " + p.rotName(bestRot)
+		}
 		cur = bestScore
+		incumbents = append(incumbents, current.Clone())
 		trace = append(trace, TraceStep{
 			Iter:     round,
-			Action:   fmt.Sprintf("apply %s:%s=%s", nodes[chosen.Node].Name, chosen.Class, chosen.Variant),
+			Action:   action,
 			Cost:     cur.Cost,
 			Value:    cur.Value,
 			Best:     cur.Value,
 			Accepted: true,
 		})
 	}
-	return trace, nil
+	return trace, incumbents, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"slices"
 
-	"diversify/internal/diversity"
 	"diversify/internal/exploits"
 	"diversify/internal/rng"
 	"diversify/internal/topology"
@@ -55,14 +54,31 @@ func newMoveSpace(p *Problem) *moveSpace {
 	return ms
 }
 
-// mutate applies one random neighbor move to a in place and returns a
-// human-readable description. Moves: upgrade (install a random option),
-// drop (remove a random overlay decision), relocate (move a decision to
-// another eligible node), swap (exchange two nodes' decisions for a
-// class). Degenerate cases fall back to upgrade so every call mutates.
-func (ms *moveSpace) mutate(a *diversity.Assignment, r *rng.Rand) string {
+// mutate applies one random neighbor move to the candidate in place and
+// returns a human-readable description. Moves: upgrade (install a
+// random option), drop (remove a random overlay decision), relocate
+// (move a decision to another eligible node), swap (exchange two nodes'
+// decisions for a class), and — when the problem searches schedules —
+// reschedule (switch the rotation policy, including back to static).
+// Degenerate cases fall back to upgrade so every call mutates.
+func (ms *moveSpace) mutate(c *Candidate, r *rng.Rand) string {
+	a := c.A
 	nodes := ms.p.Topo.Nodes()
-	switch r.Intn(4) {
+	nMoves := 4
+	if len(ms.p.Rotations) > 0 {
+		nMoves = 5
+	}
+	switch r.Intn(nMoves) {
+	case 4: // reschedule (only drawn when Rotations is non-empty)
+		// Uniform over the schedule space {static, 0..len-1} minus the
+		// current choice: draw from len(Rotations) slots and skip past the
+		// incumbent.
+		next := r.Intn(len(ms.p.Rotations)) - 1
+		if next >= c.Rot {
+			next++
+		}
+		c.Rot = next
+		return "reschedule " + ms.p.rotName(next)
 	case 1: // drop
 		entries := a.Entries()
 		if len(entries) == 0 {
@@ -125,15 +141,40 @@ func (ms *moveSpace) mutate(a *diversity.Assignment, r *rng.Rand) string {
 	return fmt.Sprintf("set %s:%s=%s", nodes[opt.Node].Name, opt.Class, opt.Variant)
 }
 
-// repair removes random overlay decisions until the assignment fits the
-// budget (used after genetic crossover/mutation).
-func (ms *moveSpace) repair(a *diversity.Assignment, r *rng.Rand) {
-	for ms.p.Cost.Cost(ms.p.Topo, a) > ms.p.Budget+budgetEps {
-		entries := a.Entries()
-		if len(entries) == 0 {
+// repair makes a candidate feasible again after crossover/mutation:
+// while over budget it drops a uniformly chosen overlay decision — or,
+// with the same per-item probability, the rotation schedule (whose
+// planned cost competes with placements for the same budget) — and then
+// drops entries from oversized (zone, class) groups until the
+// MaxPerZone constraint holds. The base configuration is zone-feasible
+// by problem validation, so both loops terminate.
+func (ms *moveSpace) repair(c *Candidate, ev *Evaluator, r *rng.Rand) {
+	for ev.Cost(*c) > ms.p.Budget+budgetEps {
+		entries := c.A.Entries()
+		n := len(entries)
+		if c.Rot >= 0 {
+			n++ // the schedule is one more droppable item
+		}
+		if n == 0 {
 			return
 		}
-		e := entries[r.Intn(len(entries))]
-		a.Unset(e.Node, e.Class)
+		pick := r.Intn(n)
+		if pick == len(entries) {
+			c.Rot = -1
+			continue
+		}
+		c.A.Unset(entries[pick].Node, entries[pick].Class)
+	}
+	if ms.p.MaxPerZone <= 0 {
+		return
+	}
+	for {
+		ev.zoneBuf = zoneViolations(ms.p, c.A, ev.zoneBuf)
+		viol := ev.zoneBuf
+		if len(viol) == 0 {
+			return
+		}
+		e := viol[r.Intn(len(viol))]
+		c.A.Unset(e.Node, e.Class)
 	}
 }

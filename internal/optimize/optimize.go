@@ -36,6 +36,7 @@ import (
 	"diversify/internal/exploits"
 	"diversify/internal/malware"
 	"diversify/internal/rng"
+	"diversify/internal/rotation"
 	"diversify/internal/topology"
 )
 
@@ -56,6 +57,13 @@ const (
 	// MaximizeTTSF maximizes the mean time-to-security-failure (censored
 	// at the horizon), i.e. minimizes its negation.
 	MaximizeTTSF
+	// MinimizeFoothold minimizes the mean intruder foothold time (the
+	// attacker-dwell indicator the moving-target literature optimizes:
+	// total time at least one node is compromised). Static placements can
+	// only delay the first compromise; rotation schedules also evict, so
+	// this is the objective that makes the schedule dimension earn its
+	// budget share.
+	MinimizeFoothold
 )
 
 func (o Objective) String() string {
@@ -66,6 +74,8 @@ func (o Objective) String() string {
 		return "min-ratio"
 	case MaximizeTTSF:
 		return "max-ttsf"
+	case MinimizeFoothold:
+		return "min-foothold"
 	default:
 		return fmt.Sprintf("Objective(%d)", int(o))
 	}
@@ -88,6 +98,9 @@ const (
 	// AxisDetection is the negated detection speed: the mean intruder
 	// dwell time before detection (MeanDetLatency).
 	AxisDetection
+	// AxisFoothold is the mean intruder foothold time (MeanFoothold) —
+	// the eviction axis rotation schedules move.
+	AxisFoothold
 )
 
 func (a Axis) String() string {
@@ -98,6 +111,8 @@ func (a Axis) String() string {
 		return "success"
 	case AxisDetection:
 		return "detection"
+	case AxisFoothold:
+		return "foothold"
 	default:
 		return fmt.Sprintf("Axis(%d)", int(a))
 	}
@@ -112,6 +127,8 @@ func (a Axis) of(s Score) float64 {
 		return s.PSuccess + 1e-3*s.FinalRatio
 	case AxisDetection:
 		return s.MeanDetLatency
+	case AxisFoothold:
+		return s.MeanFoothold
 	default:
 		return math.NaN()
 	}
@@ -132,8 +149,10 @@ func ParseAxes(names []string) ([]Axis, error) {
 			out = append(out, AxisSuccess)
 		case "detection":
 			out = append(out, AxisDetection)
+		case "foothold":
+			out = append(out, AxisFoothold)
 		default:
-			return nil, fmt.Errorf("%w: unknown objective axis %q (want cost, success or detection)", ErrBadProblem, n)
+			return nil, fmt.Errorf("%w: unknown objective axis %q (want cost, success, detection or foothold)", ErrBadProblem, n)
 		}
 	}
 	return out, nil
@@ -166,6 +185,22 @@ type Problem struct {
 	// options, then a quarter of the space with a floor of 24), negative
 	// disables screening, positive pins K. See screenScores.
 	ScreenTop int
+	// Rotations is the schedule dimension of the search space: candidate
+	// moving-target rotation policies any placement may be paired with
+	// (empty = static-only search, the PR 1–4 behavior). A schedule's
+	// PlannedCost over the horizon is folded into the candidate cost, so
+	// rotation spend competes with placement spend under one Budget.
+	Rotations []rotation.Spec
+	// BaseRotation selects the starting candidate's schedule as
+	// 1+index into Rotations (0 = static start). The portfolio strategy
+	// uses it to reseed stochastic stages from a rotated incumbent.
+	BaseRotation int
+	// MaxPerZone, when positive, constrains every topology zone to at
+	// most MaxPerZone distinct effective variants per component class —
+	// the fleet-management bound beyond the budget. Enforced in greedy
+	// feasibility, annealing proposals and genetic/NSGA-II repair; the
+	// base configuration must satisfy it.
+	MaxPerZone int
 	// Horizon is the campaign observation window in hours (default 720).
 	Horizon float64
 	// Reps is the Monte-Carlo replication count per candidate (default 50).
@@ -218,16 +253,30 @@ func (p *Problem) validate() error {
 		return fmt.Errorf("%w: budget %v", ErrBadProblem, p.Budget)
 	}
 	switch p.Objective {
-	case MinimizeSuccess, MinimizeRatio, MaximizeTTSF:
+	case MinimizeSuccess, MinimizeRatio, MaximizeTTSF, MinimizeFoothold:
 	default:
 		return fmt.Errorf("%w: unknown objective %d", ErrBadProblem, int(p.Objective))
 	}
 	for _, a := range p.Axes {
 		switch a {
-		case AxisCost, AxisSuccess, AxisDetection:
+		case AxisCost, AxisSuccess, AxisDetection, AxisFoothold:
 		default:
 			return fmt.Errorf("%w: unknown front axis %d", ErrBadProblem, int(a))
 		}
+	}
+	for i, spec := range p.Rotations {
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("%w: rotation spec %d: %v", ErrBadProblem, i, err)
+		}
+	}
+	if p.BaseRotation < 0 || p.BaseRotation > len(p.Rotations) {
+		return fmt.Errorf("%w: base rotation %d outside [0, %d]", ErrBadProblem, p.BaseRotation, len(p.Rotations))
+	}
+	if p.MaxPerZone < 0 {
+		return fmt.Errorf("%w: MaxPerZone %d", ErrBadProblem, p.MaxPerZone)
+	}
+	if p.MaxPerZone > 0 && !zoneFeasible(p, p.Base) {
+		return fmt.Errorf("%w: base configuration already exceeds MaxPerZone=%d", ErrBadProblem, p.MaxPerZone)
 	}
 	return nil
 }
@@ -238,6 +287,19 @@ func (p *Problem) base() *diversity.Assignment {
 		return p.Base.Clone()
 	}
 	return diversity.NewAssignment()
+}
+
+// baseCand returns the starting candidate (placement + schedule).
+func (p *Problem) baseCand() Candidate {
+	return Candidate{A: p.base(), Rot: p.BaseRotation - 1}
+}
+
+// rotName names a schedule index ("static" for -1).
+func (p *Problem) rotName(rot int) string {
+	if rot < 0 || rot >= len(p.Rotations) {
+		return "static"
+	}
+	return p.Rotations[rot].Name()
 }
 
 // Score is one evaluated candidate's measurements. Every field is a
@@ -264,8 +326,17 @@ type Score struct {
 	MeanDetLatency float64 `json:"mean_det_latency"`
 	// MeanDetections is the mean detection-event count per replication.
 	MeanDetections float64 `json:"mean_detections"`
-	// Cost is the cost-model price of the candidate.
+	// Cost is the cost-model price of the candidate: the placement cost
+	// plus the rotation schedule's PlannedCost over the horizon.
 	Cost float64 `json:"cost"`
+	// MeanFoothold is the mean total time the intruder held at least one
+	// compromised node; MeanRotations / MeanReinfections /
+	// MeanRotationCost measure the dynamic-diversity churn (all zero for
+	// static candidates except MeanFoothold).
+	MeanFoothold     float64 `json:"mean_foothold"`
+	MeanRotations    float64 `json:"mean_rotations"`
+	MeanReinfections float64 `json:"mean_reinfections"`
+	MeanRotationCost float64 `json:"mean_rotation_cost"`
 }
 
 // TraceStep is one recorded search step. The trace is part of the
@@ -301,6 +372,8 @@ type ParetoPoint struct {
 	PDetect        float64    `json:"p_detect"`
 	MeanDetLatency float64    `json:"mean_det_latency"`
 	MeanDetections float64    `json:"mean_detections"`
+	MeanFoothold   float64    `json:"mean_foothold"`
+	Rotation       string     `json:"rotation"`
 	Fingerprint    uint64     `json:"fingerprint"`
 	Decisions      []Decision `json:"decisions"`
 }
@@ -320,9 +393,14 @@ type Result struct {
 	Best            Score      `json:"best"`
 	BestFingerprint uint64     `json:"best_fingerprint"`
 	Decisions       []Decision `json:"decisions"`
+	// BestRotation names the winning schedule ("static" when the winner
+	// rotates nothing).
+	BestRotation string `json:"best_rotation"`
 	// BestAssignment is the winning overlay (not serialized; Decisions is
 	// the portable form).
 	BestAssignment *diversity.Assignment `json:"-"`
+	// BestRotationSpec is the winning schedule (nil = static).
+	BestRotationSpec *rotation.Spec `json:"-"`
 	Trace          []TraceStep           `json:"trace"`
 	Pareto         []ParetoPoint         `json:"pareto"`
 	// Cache and effort accounting: Evaluations counts simulated
@@ -376,7 +454,7 @@ func Run(p Problem, o Optimizer) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseline, err := ev.Score(p.base())
+	baseline, err := ev.Score(p.baseCand())
 	if err != nil {
 		return nil, err
 	}
@@ -384,8 +462,8 @@ func Run(p Problem, o Optimizer) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	best, bestA, bestFP := ev.bestFeasible(p.Budget)
-	if bestA == nil {
+	best, bestC, bestFP := ev.bestFeasible(p.Budget)
+	if bestC.A == nil {
 		// The baseline is always archived, so this means even the starting
 		// assignment exceeds the budget — a zero-valued Best would read as
 		// a perfect free placement.
@@ -398,7 +476,7 @@ func Run(p Problem, o Optimizer) (*Result, error) {
 	// The random baseline is evaluated outside the archive so "best found
 	// by the strategy" never silently points at the comparison row.
 	mark := len(ev.archive)
-	random, err := ev.Score(randomFill(&p, newSearchRand(p.Seed, "random-baseline")))
+	random, err := ev.Score(Candidate{A: randomFill(&p, newSearchRand(p.Seed, "random-baseline")), Rot: -1})
 	if err != nil {
 		return nil, err
 	}
@@ -411,14 +489,19 @@ func Run(p Problem, o Optimizer) (*Result, error) {
 		Random:          random,
 		Best:            best,
 		BestFingerprint: bestFP,
-		BestAssignment:  bestA,
-		Decisions:       decisionsOf(p.Topo, bestA),
+		BestAssignment:  bestC.A,
+		BestRotation:    p.rotName(bestC.Rot),
+		Decisions:       decisionsOf(p.Topo, bestC.A),
 		Trace:           trace,
 		Pareto:          paretoFront(&p, ev),
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		Evaluations:     misses,
 		Replications:    misses * p.Reps,
+	}
+	if bestC.Rot >= 0 {
+		spec := p.Rotations[bestC.Rot]
+		res.BestRotationSpec = &spec
 	}
 	return res, nil
 }
@@ -484,12 +567,12 @@ func compareVec(a, b []float64) int {
 // -json output is stable across runs.
 func paretoFront(p *Problem, ev *Evaluator) []ParetoPoint {
 	type scored struct {
-		c   candidate
+		c   archived
 		vec []float64
 	}
 	cands := make([]scored, 0, len(ev.archive))
 	for _, c := range ev.archive {
-		if c.score.Cost <= p.Budget+budgetEps {
+		if c.score.Cost <= p.Budget+budgetEps && c.zoneOK {
 			cands = append(cands, scored{c: c, vec: objVec(p.Axes, c.score)})
 		}
 	}
@@ -527,8 +610,10 @@ func paretoFront(p *Problem, ev *Evaluator) []ParetoPoint {
 			PDetect:        s.c.score.PDetect,
 			MeanDetLatency: s.c.score.MeanDetLatency,
 			MeanDetections: s.c.score.MeanDetections,
+			MeanFoothold:   s.c.score.MeanFoothold,
+			Rotation:       p.rotName(s.c.cand.Rot),
 			Fingerprint:    s.c.fingerprint,
-			Decisions:      decisionsOf(p.Topo, s.c.assignment),
+			Decisions:      decisionsOf(p.Topo, s.c.cand.A),
 		})
 	}
 	return front

@@ -6,7 +6,6 @@ import (
 	"math"
 	"slices"
 
-	"diversify/internal/diversity"
 	"diversify/internal/rng"
 )
 
@@ -19,8 +18,17 @@ import (
 // uses. Instead of collapsing the objectives into one scalar it grows
 // the archive toward the whole trade-off surface; Run then extracts the
 // deduplicated non-dominated front from everything evaluated.
+//
+// The population is seeded from the screened-greedy trajectory: a
+// bounded marginal-gain pass maps the terrain (its evaluations land in
+// the shared cache, so nothing is wasted) and its incumbent prefixes —
+// cheap early rounds through the full greedy spend — give the first
+// generation a cost-spread spine of known-good placements instead of
+// uniform noise. RandomInit restores the pre-seeding behavior for
+// comparison.
+//
 // Iterations is the generation count, Population the population size.
-// Every comparison is tie-broken by assignment fingerprint, so the
+// Every comparison is tie-broken by candidate fingerprint, so the
 // search — and the front it leaves behind — is deterministic for a
 // given seed regardless of the worker count.
 type Pareto struct {
@@ -31,6 +39,12 @@ type Pareto struct {
 	// TournamentK is the selection tournament size (default 2, the
 	// NSGA-II standard binary tournament).
 	TournamentK int
+	// SeedRounds bounds the greedy trajectory used to seed the
+	// population (default 4 rounds, capped at Population-1).
+	SeedRounds int
+	// RandomInit seeds the population with random fills instead of the
+	// greedy trajectory (the pre-seeding behavior, kept for comparison).
+	RandomInit bool
 }
 
 // Name implements Optimizer.
@@ -38,7 +52,7 @@ func (*Pareto) Name() string { return "pareto" }
 
 // pind is one population member with its cached objective vector.
 type pind struct {
-	a   *diversity.Assignment
+	c   Candidate
 	s   Score
 	fp  uint64
 	vec []float64
@@ -63,29 +77,48 @@ func (pt *Pareto) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 		tk = 2
 	}
 	ms := newMoveSpace(p)
-	score := func(members []*diversity.Assignment) ([]pind, error) {
+	score := func(members []Candidate) ([]pind, error) {
 		out := make([]pind, len(members))
-		for i, a := range members {
-			s, err := ev.Score(a)
+		for i, c := range members {
+			s, err := ev.Score(c)
 			if err != nil {
 				return nil, err
 			}
-			out[i] = pind{a: a, s: s, fp: a.Fingerprint(), vec: objVec(p.Axes, s)}
+			out[i] = pind{c: c, s: s, fp: c.fingerprint(ev.rotFPs), vec: objVec(p.Axes, s)}
 		}
 		return out, nil
 	}
-	// Seed population: the incumbent plus random feasible fills of
-	// varying intensity (same recipe as the genetic strategy).
-	members := make([]*diversity.Assignment, 0, popSize)
-	members = append(members, p.base())
-	for len(members) < popSize {
-		a := p.base()
-		k := 1 + r.Intn(max(1, len(p.Options)/3))
-		for j := 0; j < k; j++ {
-			p.Options[r.Intn(len(p.Options))].Apply(a)
+	// Seed population: the base candidate, then the screened-greedy
+	// trajectory prefixes (unless RandomInit), then random feasible fills
+	// of varying intensity for whatever slots remain.
+	members := make([]Candidate, 0, popSize)
+	members = append(members, p.baseCand())
+	if !pt.RandomInit {
+		rounds := pt.SeedRounds
+		if rounds <= 0 {
+			rounds = 4
 		}
-		ms.repair(a, r)
-		members = append(members, a)
+		if rounds > popSize-1 {
+			rounds = popSize - 1
+		}
+		// The seeding pass runs under a screen clamped to a few times the
+		// population size: enough surrogate-top options per round to lay a
+		// known-good spine, without the full greedy search's per-round
+		// spend on grid-scale option spaces.
+		seedP := *p
+		if clamp := 4 * popSize; seedP.ScreenTop <= 0 || seedP.ScreenTop > clamp {
+			seedP.ScreenTop = clamp
+		}
+		_, incumbents, err := greedySearch(&seedP, ev, rounds)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, incumbents...)
+	}
+	for len(members) < popSize {
+		c := randomCandidate(p, r)
+		ms.repair(&c, ev, r)
+		members = append(members, c)
 	}
 	pop, err := score(members)
 	if err != nil {
@@ -107,14 +140,14 @@ func (pt *Pareto) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 		}
 		// Offspring generation, then (mu+lambda) environmental selection
 		// over parents ∪ children.
-		children := make([]*diversity.Assignment, 0, popSize)
+		children := make([]Candidate, 0, popSize)
 		for len(children) < popSize {
 			p1, p2 := tournament(), tournament()
-			child := crossover(p1.a, p2.a, r)
+			child := crossover(p1.c, p2.c, r)
 			if r.Bool(mutProb) {
-				ms.mutate(child, r)
+				ms.mutate(&child, r)
 			}
-			ms.repair(child, r)
+			ms.repair(&child, ev, r)
 			children = append(children, child)
 		}
 		scored, err := score(children)

@@ -25,7 +25,7 @@ func TestParetoPointsNonDominatedInArchive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ev.Score(p.base()); err != nil {
+		if _, err := ev.Score(p.baseCand()); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := o.Search(&p, ev, newSearchRand(p.Seed, o.Name())); err != nil {
@@ -98,7 +98,7 @@ func TestDetectionStatsDeterministic(t *testing.T) {
 		}
 		a := diversity.NewAssignment()
 		p.Options[0].Apply(a)
-		s, err := ev.Score(a)
+		s, err := ev.Score(Candidate{A: a, Rot: -1})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -45,10 +45,12 @@ func (pf *Portfolio) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep
 	appendStage("greedy", gSteps)
 
 	// Seed the stochastic stages from the best feasible candidate so far
-	// (the greedy incumbent, or the baseline when greedy found nothing).
+	// (the greedy incumbent — placement AND schedule — or the baseline
+	// when greedy found nothing).
 	seeded := *p
-	if _, bestA, _ := ev.bestFeasible(p.Budget); bestA != nil {
-		seeded.Base = bestA
+	if _, bestC, _ := ev.bestFeasible(p.Budget); bestC.A != nil {
+		seeded.Base = bestC.A
+		seeded.BaseRotation = bestC.Rot + 1
 	}
 	aSteps, err := pf.Anneal.Search(&seeded, ev, newSearchRand(p.Seed, "portfolio-anneal"))
 	if err != nil {
@@ -58,8 +60,9 @@ func (pf *Portfolio) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep
 
 	// Genetic restarts from the CURRENT best (annealing may have improved
 	// on greedy), seeding its population with the strongest incumbent.
-	if _, bestA, _ := ev.bestFeasible(p.Budget); bestA != nil {
-		seeded.Base = bestA
+	if _, bestC, _ := ev.bestFeasible(p.Budget); bestC.A != nil {
+		seeded.Base = bestC.A
+		seeded.BaseRotation = bestC.Rot + 1
 	}
 	genSteps, err := pf.Genetic.Search(&seeded, ev, newSearchRand(p.Seed, "portfolio-genetic"))
 	if err != nil {

@@ -5,7 +5,6 @@ import (
 	"slices"
 
 	"diversify/internal/malware"
-	"diversify/internal/topology"
 )
 
 // Option screening keeps grid-scale greedy search tractable: instead of
@@ -47,60 +46,19 @@ func (p *Problem) screenTop() int {
 
 // screenScores computes the surrogate score of every option:
 //
-//	score = (1 + onPath + cutBonus + targetBonus) × resilienceGain
+//	score = criticality × resilienceGain
 //
-// where onPath counts shortest entry→target paths through the node,
-// cutBonus marks articulation points (hardening them severs attack
-// paths outright), targetBonus marks the objective's target nodes
-// (hardening the PLC itself blocks the final stage), and resilienceGain
-// is the catalog resilience delta of the switch over the node's default
-// (non-upgrades rank at or below zero). Purely structural — no
-// simulation — and deterministic for a given problem.
+// where criticality is the shared structural surrogate
+// (malware.CriticalityScores: on-path centrality between the threat's
+// entries and targets, articulation and target bonuses) and
+// resilienceGain is the catalog resilience delta of the switch over the
+// node's default (non-upgrades rank at or below zero). Purely
+// structural — no simulation — and deterministic for a given problem.
 func screenScores(p *Problem) []float64 {
 	nodes := p.Topo.Nodes()
-	var entries, targets []topology.NodeID
-	for _, k := range p.Profile.EntryKinds {
-		entries = append(entries, p.Topo.NodesOfKind(k)...)
-	}
-	entrySet := map[topology.NodeID]bool{}
-	for _, e := range entries {
-		entrySet[e] = true
-	}
-	// Impairment campaigns end at PLCs; espionage campaigns exfiltrate
-	// from any component-carrying node, so every non-entry carrier is a
-	// target there.
-	impairment := p.Profile.Objective == malware.ObjectiveImpairment
-	targetSet := map[topology.NodeID]bool{}
-	for _, n := range nodes {
-		if n.Kind == topology.KindPLC ||
-			(!impairment && len(n.Components) > 0 && !entrySet[n.ID]) {
-			targets = append(targets, n.ID)
-			targetSet[n.ID] = true
-		}
-	}
-	onPath := p.Topo.OnPathScores(entries, targets)
-	cuts := map[topology.NodeID]bool{}
-	for _, id := range p.Topo.ArticulationPoints() {
-		cuts[id] = true
-	}
-	maxPath := 0
-	for _, s := range onPath {
-		if s > maxPath {
-			maxPath = s
-		}
-	}
+	crit := malware.CriticalityScores(p.Topo, p.Profile)
 	scores := make([]float64, len(p.Options))
 	for i, opt := range p.Options {
-		crit := 1.0
-		if maxPath > 0 {
-			crit += float64(onPath[opt.Node]) / float64(maxPath)
-		}
-		if cuts[opt.Node] {
-			crit += 1
-		}
-		if targetSet[opt.Node] {
-			crit += 0.5
-		}
 		gain := 0.0
 		if def, ok := nodes[opt.Node].Components[opt.Class]; ok {
 			dv, okD := p.Catalog.Variant(def)
@@ -109,7 +67,7 @@ func screenScores(p *Problem) []float64 {
 				gain = nv.Resilience - dv.Resilience
 			}
 		}
-		scores[i] = crit * gain
+		scores[i] = crit[opt.Node] * gain
 	}
 	return scores
 }

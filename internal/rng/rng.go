@@ -64,6 +64,20 @@ func (r *Rand) Uint64() uint64 {
 	return result
 }
 
+// Digest returns a 64-bit digest of the generator's current state
+// WITHOUT advancing it: a deterministic way to seed decorrelated
+// side-channel streams (e.g. a campaign's rotation-policy draws) that
+// must not perturb the main sampling sequence — two runs share the
+// main sequence exactly whether or not the side channel exists.
+func (r *Rand) Digest() uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, s := range r.s {
+		_, z := splitmix64(h ^ s)
+		h = z
+	}
+	return h
+}
+
 // Split derives a statistically independent child generator. The parent
 // advances by exactly two draws, so splitting is itself deterministic.
 func (r *Rand) Split() *Rand {

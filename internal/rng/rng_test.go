@@ -402,3 +402,25 @@ func TestUniformInvalidBoundsPanic(t *testing.T) {
 		t.Errorf("degenerate Uniform sampled %v, want 3", got)
 	}
 }
+
+// Digest must not advance the stream, must be a pure function of the
+// state, and must differ across states.
+func TestDigestNonAdvancing(t *testing.T) {
+	r := New(7)
+	d1 := r.Digest()
+	if r.Digest() != d1 {
+		t.Fatal("Digest not idempotent")
+	}
+	plain := New(7)
+	for i := 0; i < 8; i++ {
+		if got, want := r.Uint64(), plain.Uint64(); got != want {
+			t.Fatalf("draw %d diverged after Digest: %d != %d", i, got, want)
+		}
+	}
+	if r.Digest() == d1 {
+		t.Fatal("Digest unchanged after the state advanced")
+	}
+	if New(8).Digest() == d1 {
+		t.Fatal("different seeds share a digest")
+	}
+}

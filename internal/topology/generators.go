@@ -270,6 +270,14 @@ type MeshedGridSpec struct {
 	// center (gateway + HMI + historian). 0 = one region per 25
 	// substations.
 	Regions int
+	// RegionSizes pins heterogeneous region sizes: region r holds
+	// RegionSizes[r] substations — how real interconnects look (a dense
+	// metro region next to sparse rural ones, a small legacy pocket that
+	// rotation policies must keep evicting the attacker from). When set
+	// it overrides Regions (= len(RegionSizes)) and Substations (= the
+	// sum); entries must be positive (normalize panics otherwise, like
+	// the rng package on invalid parameters).
+	RegionSizes []int
 	// FeedersPerSub is the sensor/actuator pair count per substation;
 	// RegionFeeders optionally overrides it per region (region r uses
 	// RegionFeeders[r % len]), modeling regions with denser instrumentation.
@@ -323,6 +331,17 @@ func DefaultMeshedGridSpec(substations int) MeshedGridSpec {
 // 50}) builds a catalog-valid topology instead of one full of empty
 // VariantIDs that silently zero every exploitability lookup.
 func (s *MeshedGridSpec) normalize() {
+	if len(s.RegionSizes) > 0 {
+		total := 0
+		for i, size := range s.RegionSizes {
+			if size <= 0 {
+				panic(fmt.Sprintf("topology: RegionSizes[%d] = %d, want positive", i, size))
+			}
+			total += size
+		}
+		s.Regions = len(s.RegionSizes)
+		s.Substations = total
+	}
 	if s.Substations <= 0 {
 		s.Substations = 100
 	}
@@ -438,8 +457,12 @@ func NewMeshedGrid(spec MeshedGridSpec) *Topology {
 		if len(spec.RegionFeeders) > 0 {
 			feeders = spec.RegionFeeders[reg%len(spec.RegionFeeders)]
 		}
-		// Region reg owns substations [reg*N/R, (reg+1)*N/R).
+		// Region reg owns substations [reg*N/R, (reg+1)*N/R) — or exactly
+		// its pinned RegionSizes share.
 		hi := (reg + 1) * spec.Substations / spec.Regions
+		if len(spec.RegionSizes) > 0 {
+			hi = sub + spec.RegionSizes[reg]
+		}
 		var subGWs []NodeID
 		for ; sub < hi; sub++ {
 			sgw := t.AddNode(fmt.Sprintf("sub-%d-gw", sub), KindGateway, ZoneField, os(nil))

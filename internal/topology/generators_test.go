@@ -232,3 +232,62 @@ func TestMeshedGridScale(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%d", topo.Len())
 }
+
+// RegionSizes pins heterogeneous regions: the build must honor the
+// exact per-region substation counts, derive Regions and Substations
+// from the list, fingerprint differently from the uniform split, and
+// reject non-positive entries.
+func TestMeshedGridRegionSizes(t *testing.T) {
+	spec := DefaultMeshedGridSpec(0)
+	spec.RegionSizes = []int{30, 20, 10}
+	topo := NewMeshedGrid(spec)
+	if got := len(topo.NodesOfKind(KindPLC)); got != 60 {
+		t.Fatalf("got %d RTUs, want 60 (sum of RegionSizes)", got)
+	}
+	// Count each region's substation gateways through its regional
+	// gateway's firewalled LAN links to sub-*-gw nodes.
+	nameOf := map[NodeID]string{}
+	regionGW := map[string]NodeID{}
+	for _, n := range topo.Nodes() {
+		nameOf[n.ID] = n.Name
+		if n.Kind == KindGateway && strings.HasPrefix(n.Name, "region-") {
+			regionGW[n.Name] = n.ID
+		}
+	}
+	if len(regionGW) != 3 {
+		t.Fatalf("got %d regional gateways, want 3 (len RegionSizes)", len(regionGW))
+	}
+	counts := map[string]int{}
+	for _, l := range topo.Links() {
+		a, b := nameOf[l.A], nameOf[l.B]
+		if strings.HasPrefix(a, "region-") && strings.HasPrefix(b, "sub-") && strings.HasSuffix(b, "-gw") {
+			counts[a]++
+		}
+		if strings.HasPrefix(b, "region-") && strings.HasPrefix(a, "sub-") && strings.HasSuffix(a, "-gw") {
+			counts[b]++
+		}
+	}
+	for reg, want := range map[string]int{"region-0-gw": 30, "region-1-gw": 20, "region-2-gw": 10} {
+		if counts[reg] != want {
+			t.Errorf("%s uplinks %d substations, want %d", reg, counts[reg], want)
+		}
+	}
+	// Same total, different split ⇒ different certified structure.
+	uniform := DefaultMeshedGridSpec(60)
+	uniform.Regions = 3
+	if NewMeshedGrid(uniform).Fingerprint() == topo.Fingerprint() {
+		t.Fatal("heterogeneous split fingerprints identical to uniform split")
+	}
+	// Same sizes rebuild byte-identically.
+	if NewMeshedGrid(spec).Fingerprint() != topo.Fingerprint() {
+		t.Fatal("RegionSizes build not deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive region size accepted")
+		}
+	}()
+	bad := DefaultMeshedGridSpec(0)
+	bad.RegionSizes = []int{5, 0, 5}
+	NewMeshedGrid(bad)
+}
