@@ -1,9 +1,13 @@
 package optimize
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diversify/internal/diversity"
 	"diversify/internal/indicators"
@@ -22,6 +26,33 @@ type archived struct {
 	// front-building never surface a constraint-violating candidate the
 	// search happened to evaluate.
 	zoneOK bool
+}
+
+// Panic-isolation bounds: a replication whose campaign panics is retried
+// with the same stream seed (CRN holds) after an escalating backoff; a
+// replication that panics maxRepAttempts times in a row quarantines the
+// whole candidate instead of killing the process or deadlocking the
+// worker pool.
+const (
+	maxRepAttempts  = 3
+	repRetryBackoff = time.Millisecond
+)
+
+// quarantineValue is the objective value assigned to quarantined
+// candidates: finite (so JSON encoding and value comparisons stay
+// well-defined) but worse than any measurable score, so no strategy ever
+// prefers a quarantined candidate.
+const quarantineValue = math.MaxFloat64
+
+// repPanic is one replication's unrecoverable panic: the candidate that
+// triggered it is quarantined.
+type repPanic struct {
+	rep   int
+	cause any
+}
+
+func (p *repPanic) Error() string {
+	return fmt.Sprintf("optimize: evaluation of replication %d panicked %d times: %v", p.rep, maxRepAttempts, p.cause)
 }
 
 // Evaluator turns candidates into Scores by Monte-Carlo campaign
@@ -63,6 +94,12 @@ type Evaluator struct {
 	archive []archived
 	hits    int
 	misses  int
+	// quarantined counts candidates scored infeasible after repeated
+	// evaluation panics; repHook is the fault-injection seam the
+	// robustness tests use (called once per replication attempt, before
+	// the campaign runs).
+	quarantined int
+	repHook     func(c Candidate, rep int)
 
 	// Per-replication result buffers, aggregated sequentially in
 	// replication order so float accumulation is independent of the
@@ -195,11 +232,19 @@ func (e *Evaluator) Score(c Candidate) (Score, error) {
 	}
 	e.misses++
 	s, err := e.simulate(c)
-	if err != nil {
+	var rp *repPanic
+	if errors.As(err, &rp) {
+		// The candidate's evaluation panicked repeatedly: quarantine it —
+		// cached as infeasible so the search keeps moving and never
+		// revisits it — instead of killing the whole run.
+		e.quarantined++
+		s = Score{Value: quarantineValue, Quarantined: true}
+	} else if err != nil {
 		return Score{}, err
+	} else {
+		s.Value = e.value(s)
 	}
 	s.Cost = e.Cost(c)
-	s.Value = e.value(s)
 	e.cache[fp] = s
 	e.archive = append(e.archive, archived{
 		fingerprint: fp,
@@ -241,14 +286,21 @@ func (e *Evaluator) simulate(c Candidate) (Score, error) {
 		}
 	}
 	errs := make([]error, e.nWorkers)
+	panics := make([]*repPanic, e.nWorkers)
+	// poisoned flags a quarantine in progress: the other workers stop
+	// claiming work and drain their in-flight replication instead of
+	// finishing a candidate whose score will be discarded anyway.
+	var poisoned atomic.Bool
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(e.nWorkers)
 	for w := 0; w < e.nWorkers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			r := e.rands[w]
 			for {
+				if poisoned.Load() {
+					return
+				}
 				// Batched dynamic dispatch: replication i always runs stream
 				// seeds[i] and writes only slot i, so which worker claims a
 				// batch cannot matter.
@@ -261,46 +313,16 @@ func (e *Evaluator) simulate(c Candidate) (Score, error) {
 					hi = e.p.Reps
 				}
 				for i := lo; i < hi; i++ {
-					r.Seed(e.seeds[i])
-					camp := e.camps[w]
-					if camp == nil {
-						var err error
-						camp, err = malware.NewCampaign(malware.Config{
-							Topo: e.p.Topo, Catalog: e.p.Catalog, Profile: e.p.Profile,
-							Rand: r, Assign: assignFn, FirewallVariant: e.p.FirewallVariant,
-						})
-						if err != nil {
+					if err := e.runRepIsolated(w, i, c, assignFn, engs); err != nil {
+						var rp *repPanic
+						if errors.As(err, &rp) {
+							panics[w] = rp
+							poisoned.Store(true)
+						} else {
 							errs[w] = err
-							return
 						}
-						e.camps[w] = camp
-					} else {
-						camp.Reset(assignFn, r)
-					}
-					if engs != nil {
-						camp.SetRotation(engs[w])
-					} else {
-						camp.SetRotation(nil)
-					}
-					out, err := camp.Run(e.p.Horizon)
-					if err != nil {
-						errs[w] = err
 						return
 					}
-					e.succBuf[i] = out.Success
-					e.detBuf[i] = out.Detected
-					if out.Detected {
-						e.ttsfBuf[i] = out.TTSF
-					} else {
-						e.ttsfBuf[i] = out.Horizon
-					}
-					e.ratioBuf[i] = indicators.RatioAt(out.Compromised, out.Horizon)
-					e.dwellBuf[i] = out.DwellTime()
-					e.dcntBuf[i] = out.Detections
-					e.fhBuf[i] = out.FootholdTime
-					e.rotBuf[i] = out.Rotations
-					e.reinfBuf[i] = out.Reinfections
-					e.rcostBuf[i] = out.RotationCost
 				}
 			}
 		}(w)
@@ -310,6 +332,17 @@ func (e *Evaluator) simulate(c Candidate) (Score, error) {
 		if err != nil {
 			return Score{}, err
 		}
+	}
+	// Quarantine beats partial measurements: report the lowest-indexed
+	// panicking replication (deterministic when several workers trip).
+	var quar *repPanic
+	for _, rp := range panics {
+		if rp != nil && (quar == nil || rp.rep < quar.rep) {
+			quar = rp
+		}
+	}
+	if quar != nil {
+		return Score{}, quar
 	}
 	// Aggregate in replication order: float accumulation is then
 	// independent of the worker count.
@@ -345,6 +378,82 @@ func (e *Evaluator) simulate(c Candidate) (Score, error) {
 	return s, nil
 }
 
+// runRepIsolated runs replication i on worker w with panic isolation:
+// a panicking evaluation tears down the worker's campaign (its state is
+// suspect), reseeds the replication stream and retries after a bounded
+// backoff; maxRepAttempts consecutive panics return a *repPanic that
+// quarantines the candidate. The no-panic path performs exactly the
+// same RNG operations as an unisolated run, so common random numbers —
+// and every seeded golden — are untouched.
+func (e *Evaluator) runRepIsolated(w, i int, c Candidate, assignFn malware.Assignment, engs []*rotation.Engine) error {
+	for attempt := 1; ; attempt++ {
+		err, pan := e.runRep(w, i, c, assignFn, engs)
+		if pan == nil {
+			return err
+		}
+		// The campaign may hold arbitrarily corrupt state mid-panic; drop
+		// it so the retry (and the next candidate) rebuilds from scratch.
+		e.camps[w] = nil
+		if attempt >= maxRepAttempts {
+			return &repPanic{rep: i, cause: pan}
+		}
+		time.Sleep(repRetryBackoff << (attempt - 1))
+	}
+}
+
+// runRep executes one replication, converting panics into the second
+// return value. The stream is reseeded here so retries replay the exact
+// same attack luck.
+func (e *Evaluator) runRep(w, i int, c Candidate, assignFn malware.Assignment, engs []*rotation.Engine) (err error, pan any) {
+	defer func() {
+		if r := recover(); r != nil {
+			pan = r
+		}
+	}()
+	r := e.rands[w]
+	r.Seed(e.seeds[i])
+	if e.repHook != nil {
+		e.repHook(c, i)
+	}
+	camp := e.camps[w]
+	if camp == nil {
+		camp, err = malware.NewCampaign(malware.Config{
+			Topo: e.p.Topo, Catalog: e.p.Catalog, Profile: e.p.Profile,
+			Rand: r, Assign: assignFn, FirewallVariant: e.p.FirewallVariant,
+		})
+		if err != nil {
+			return err, nil
+		}
+		e.camps[w] = camp
+	} else {
+		camp.Reset(assignFn, r)
+	}
+	if engs != nil {
+		camp.SetRotation(engs[w])
+	} else {
+		camp.SetRotation(nil)
+	}
+	out, err := camp.Run(e.p.Horizon)
+	if err != nil {
+		return err, nil
+	}
+	e.succBuf[i] = out.Success
+	e.detBuf[i] = out.Detected
+	if out.Detected {
+		e.ttsfBuf[i] = out.TTSF
+	} else {
+		e.ttsfBuf[i] = out.Horizon
+	}
+	e.ratioBuf[i] = indicators.RatioAt(out.Compromised, out.Horizon)
+	e.dwellBuf[i] = out.DwellTime()
+	e.dcntBuf[i] = out.Detections
+	e.fhBuf[i] = out.FootholdTime
+	e.rotBuf[i] = out.Rotations
+	e.reinfBuf[i] = out.Reinfections
+	e.rcostBuf[i] = out.RotationCost
+	return nil, nil
+}
+
 // bestFeasible returns the best archived candidate within budget (and
 // within the zone constraint); equal values prefer the cheaper
 // candidate, remaining ties keep the earliest evaluated (deterministic).
@@ -354,7 +463,7 @@ func (e *Evaluator) bestFeasible(budget float64) (Score, Candidate, uint64) {
 	var best archived
 	found := false
 	for _, c := range e.archive {
-		if c.score.Cost > budget+budgetEps || !c.zoneOK {
+		if c.score.Cost > budget+budgetEps || !c.zoneOK || c.score.Quarantined {
 			continue
 		}
 		better := !found || c.score.Value < best.score.Value ||

@@ -337,6 +337,11 @@ type Score struct {
 	MeanRotations    float64 `json:"mean_rotations"`
 	MeanReinfections float64 `json:"mean_reinfections"`
 	MeanRotationCost float64 `json:"mean_rotation_cost"`
+	// Quarantined marks a candidate whose evaluation panicked repeatedly
+	// and was scored infeasible instead of crashing the run; every
+	// measurement field except Cost is meaningless. Quarantined
+	// candidates never win and never enter the Pareto front.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // TraceStep is one recorded search step. The trace is part of the
@@ -572,7 +577,7 @@ func paretoFront(p *Problem, ev *Evaluator) []ParetoPoint {
 	}
 	cands := make([]scored, 0, len(ev.archive))
 	for _, c := range ev.archive {
-		if c.score.Cost <= p.Budget+budgetEps && c.zoneOK {
+		if c.score.Cost <= p.Budget+budgetEps && c.zoneOK && !c.score.Quarantined {
 			cands = append(cands, scored{c: c, vec: objVec(p.Axes, c.score)})
 		}
 	}
