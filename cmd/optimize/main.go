@@ -16,24 +16,53 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"diversify"
 )
 
+// exitDegraded is the exit code of an interrupted-but-salvaged run: the
+// search was cancelled (SIGINT/SIGTERM or deadline) and the printed
+// result is the best-so-far incumbent, not a completed optimization.
+// Distinct from 1 (hard failure) so scripts can tell the two apart.
+const exitDegraded = 3
+
+// errDegraded signals that the run was interrupted but still produced
+// (and printed) a best-so-far result.
+type errDegraded struct{ reason string }
+
+func (e *errDegraded) Error() string { return "degraded run: " + e.reason }
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the search context: the run drains in-flight
+	// replications, prints the degraded incumbent and exits with
+	// exitDegraded instead of dying mid-table. A second signal kills the
+	// process the usual way (stop() restores default delivery).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	var deg *errDegraded
+	switch {
+	case err == nil:
+	case errors.As(err, &deg):
+		fmt.Fprintln(os.Stderr, "optimize:", err)
+		os.Exit(exitDegraded)
+	default:
 		fmt.Fprintln(os.Stderr, "optimize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	var (
 		topo       = fs.String("topo", "tiered", "topology: tiered, powergrid, or grid:N[:regions] (generated N-substation meshed grid)")
@@ -59,7 +88,7 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := diversify.Optimize(diversify.OptimizeConfig{
+	res, err := diversify.OptimizeContext(ctx, diversify.OptimizeConfig{
 		Topology: *topo, Threat: *threat, Strategy: *strategy,
 		Classes:    splitList(*classes),
 		Objective:  *objective,
@@ -74,10 +103,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A degraded (interrupted) run still prints the full report — table
+	// or JSON — then surfaces the distinct exit code through errDegraded.
+	var degErr error
+	if res.Degraded != "" {
+		fmt.Fprintln(errw, "optimize: interrupted —", res.Degraded)
+		degErr = &errDegraded{reason: res.Degraded}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		return degErr
 	}
 	fmt.Fprintf(out, "topology=%s threat=%s strategy=%s objective=%s budget=%.0f seed=%d reps=%d\n\n",
 		*topo, *threat, res.Strategy, res.Objective, res.Budget, *seed, *reps)
@@ -89,7 +128,11 @@ func run(args []string, out io.Writer) error {
 			s.MeanFoothold, s.MeanRotations, s.MeanReinfections)
 	}
 	row("baseline", res.Baseline)
-	row("random-placement", res.Random)
+	if res.Degraded == "" {
+		row("random-placement", res.Random)
+	} else {
+		fmt.Fprintf(out, "%-18s (skipped: run interrupted)\n", "random-placement")
+	}
 	row("best-found", res.Best)
 	fmt.Fprintf(out, "\nbest schedule: %s\n", res.BestRotation)
 	fmt.Fprintf(out, "best assignment (%d decisions, fingerprint %016x):\n",
@@ -110,7 +153,10 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nsearch: %d steps, %d candidates simulated (%d replications), cache hits %d\n",
 		len(res.Trace), res.Evaluations, res.Replications, res.CacheHits)
-	return nil
+	if degErr != nil {
+		fmt.Fprintf(out, "\nDEGRADED: %s (best-so-far result, not a completed search)\n", res.Degraded)
+	}
+	return degErr
 }
 
 // splitList parses a comma-separated flag value.

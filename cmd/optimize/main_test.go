@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 // Small-but-real settings: powergrid, 15-day horizon, compromised-ratio
@@ -38,7 +42,7 @@ func TestStrategiesBeatRandomPlacement(t *testing.T) {
 	}
 	for _, strategy := range []string{"greedy", "anneal", "genetic"} {
 		var buf bytes.Buffer
-		if err := run(append(smallArgs(strategy), "-json"), &buf); err != nil {
+		if err := run(t.Context(), append(smallArgs(strategy), "-json"), &buf, io.Discard); err != nil {
 			t.Fatalf("%s: %v", strategy, err)
 		}
 		var s summary
@@ -65,10 +69,10 @@ func TestStrategiesBeatRandomPlacement(t *testing.T) {
 // Same seed must reproduce the same full output, byte for byte.
 func TestOutputDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(smallArgs("anneal"), &a); err != nil {
+	if err := run(t.Context(), smallArgs("anneal"), &a, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(smallArgs("anneal"), &b); err != nil {
+	if err := run(t.Context(), smallArgs("anneal"), &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -79,7 +83,7 @@ func TestOutputDeterministic(t *testing.T) {
 // The text report carries the headline sections.
 func TestTextOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(smallArgs("greedy"), &buf); err != nil {
+	if err := run(t.Context(), smallArgs("greedy"), &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -101,7 +105,7 @@ func TestBadFlags(t *testing.T) {
 		{"-objective", "entropy"},
 	} {
 		var buf bytes.Buffer
-		if err := run(append(args, "-reps", "2", "-horizon", "24"), &buf); err == nil {
+		if err := run(t.Context(), append(args, "-reps", "2", "-horizon", "24"), &buf, io.Discard); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
 	}
@@ -111,10 +115,10 @@ func TestBadFlags(t *testing.T) {
 // a bounded greedy search end to end; malformed selectors must error.
 func TestGridTopologySelector(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(t.Context(), []string{
 		"-topo", "grid:40", "-strategy", "greedy", "-classes", "PLC,Protocol",
 		"-budget", "12", "-reps", "4", "-horizon", "120", "-iterations", "1", "-seed", "3",
-	}, &buf)
+	}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +126,7 @@ func TestGridTopologySelector(t *testing.T) {
 		t.Fatalf("grid run produced no report:\n%s", buf.String())
 	}
 	for _, bad := range []string{"grid:", "grid:0", "grid:-5", "grid:abc", "grid:10:0", "grid:10:x"} {
-		if err := run([]string{"-topo", bad, "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+		if err := run(t.Context(), []string{"-topo", bad, "-reps", "2", "-horizon", "24"}, &buf, io.Discard); err == nil {
 			t.Errorf("topo %q: expected error", bad)
 		}
 	}
@@ -132,10 +136,10 @@ func TestGridTopologySelector(t *testing.T) {
 // three stage prefixes in its JSON trace.
 func TestPortfolioStrategyCLI(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(t.Context(), []string{
 		"-topo", "powergrid", "-strategy", "portfolio", "-budget", "12",
 		"-reps", "4", "-horizon", "120", "-iterations", "6", "-seed", "2", "-json",
-	}, &buf)
+	}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +155,11 @@ func TestPortfolioStrategyCLI(t *testing.T) {
 // and reports a multi-point non-dominated front with detection columns.
 func TestParetoStrategyCLI(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(t.Context(), []string{
 		"-topo", "powergrid", "-strategy", "pareto", "-budget", "20",
 		"-reps", "6", "-horizon", "168", "-iterations", "5", "-pop", "8",
 		"-seed", "4", "-json",
-	}, &buf)
+	}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,15 +183,15 @@ func TestParetoStrategyCLI(t *testing.T) {
 	}
 	// A restricted axis set must also be accepted...
 	buf.Reset()
-	if err := run([]string{
+	if err := run(t.Context(), []string{
 		"-topo", "powergrid", "-strategy", "pareto", "-budget", "20",
 		"-reps", "4", "-horizon", "120", "-iterations", "3", "-pop", "8",
 		"-seed", "4", "-objectives", "cost,success",
-	}, &buf); err != nil {
+	}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// ...and junk axes rejected.
-	if err := run([]string{"-objectives", "entropy", "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+	if err := run(t.Context(), []string{"-objectives", "entropy", "-reps", "2", "-horizon", "24"}, &buf, io.Discard); err == nil {
 		t.Fatal("bad -objectives accepted")
 	}
 }
@@ -196,11 +200,11 @@ func TestParetoStrategyCLI(t *testing.T) {
 // budget and produce the standard report.
 func TestScreenFlagCLI(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(t.Context(), []string{
 		"-topo", "grid:40", "-strategy", "greedy", "-classes", "PLC,Protocol",
 		"-budget", "12", "-reps", "4", "-horizon", "120", "-iterations", "1",
 		"-seed", "3", "-screen", "30",
-	}, &buf)
+	}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +218,11 @@ func TestScreenFlagCLI(t *testing.T) {
 // is reported, and bad selectors error.
 func TestRotateFlagCLI(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(t.Context(), []string{
 		"-topo", "grid:60", "-objective", "foothold", "-budget", "30",
 		"-reps", "8", "-horizon", "240", "-seed", "7",
 		"-rotate", "triggered,adaptive:24x2",
-	}, &buf)
+	}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +236,7 @@ func TestRotateFlagCLI(t *testing.T) {
 		t.Fatalf("expected the adaptive schedule to win at this seed:\n%s", out)
 	}
 	for _, bad := range []string{"hourly:4", "periodic:", "periodic:0", "triggered:12x0"} {
-		if err := run([]string{"-rotate", bad, "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+		if err := run(t.Context(), []string{"-rotate", bad, "-reps", "2", "-horizon", "24"}, &buf, io.Discard); err == nil {
 			t.Errorf("rotate %q: expected error", bad)
 		}
 	}
@@ -242,17 +246,17 @@ func TestRotateFlagCLI(t *testing.T) {
 // seed may use more distinct variants than the capped one.
 func TestMaxPerZoneFlagCLI(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(t.Context(), []string{
 		"-topo", "powergrid", "-budget", "20", "-reps", "4", "-horizon", "120",
 		"-iterations", "4", "-seed", "2", "-max-per-zone", "2", "-json",
-	}, &buf)
+	}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "best_rotation") {
 		t.Fatalf("JSON output missing best_rotation:\n%s", buf.String())
 	}
-	if err := run([]string{"-max-per-zone", "-3", "-reps", "2", "-horizon", "24"}, &buf); err == nil {
+	if err := run(t.Context(), []string{"-max-per-zone", "-3", "-reps", "2", "-horizon", "24"}, &buf, io.Discard); err == nil {
 		t.Error("negative -max-per-zone accepted")
 	}
 }
@@ -260,14 +264,77 @@ func TestMaxPerZoneFlagCLI(t *testing.T) {
 // -objective foothold selects the intruder-dwell indicator.
 func TestFootholdObjectiveCLI(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(t.Context(), []string{
 		"-topo", "powergrid", "-objective", "foothold", "-budget", "12",
 		"-reps", "4", "-horizon", "120", "-iterations", "2", "-seed", "2",
-	}, &buf)
+	}, &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "min-foothold") {
 		t.Fatalf("output missing min-foothold objective:\n%s", buf.String())
+	}
+}
+
+// Cancelling the run context mid-search (what SIGINT/SIGTERM do via
+// signal.NotifyContext in main) must still print the full report with
+// the degraded incumbent, and surface the distinct errDegraded so main
+// exits with exitDegraded instead of 1.
+func TestRunDegradedOnCancel(t *testing.T) {
+	longArgs := func(extra ...string) []string {
+		return append([]string{
+			"-topo", "powergrid", "-strategy", "anneal", "-objective", "ratio",
+			"-budget", "20", "-reps", "16", "-horizon", "240",
+			"-iterations", "10000000", "-seed", "3",
+		}, extra...)
+	}
+	start := func(args []string) (out, errb *bytes.Buffer, done chan error, cancel context.CancelFunc) {
+		var ctx context.Context
+		ctx, cancel = context.WithCancel(context.Background())
+		out, errb = &bytes.Buffer{}, &bytes.Buffer{}
+		done = make(chan error, 1)
+		go func() { done <- run(ctx, args, out, errb) }()
+		return out, errb, done, cancel
+	}
+	// Table mode: the report must carry the DEGRADED marker and still
+	// include the best-found row.
+	out, errb, done, cancel := start(longArgs())
+	time.Sleep(500 * time.Millisecond)
+	cancel()
+	err := <-done
+	var deg *errDegraded
+	if !errors.As(err, &deg) {
+		t.Fatalf("err = %v, want *errDegraded", err)
+	}
+	for _, want := range []string{"best-found", "DEGRADED:", "(skipped: run interrupted)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("degraded table output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Fatalf("stderr missing interruption notice: %q", errb.String())
+	}
+	// JSON mode: the document must parse and carry the degraded reason
+	// plus a usable incumbent.
+	out, _, done, cancel = start(longArgs("-json"))
+	time.Sleep(500 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.As(err, &deg) {
+		t.Fatalf("json mode err = %v, want *errDegraded", err)
+	}
+	var res struct {
+		Degraded string `json:"degraded"`
+		Best     struct {
+			Cost float64 `json:"cost"`
+		} `json:"best"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("degraded -json output does not parse: %v", err)
+	}
+	if res.Degraded == "" {
+		t.Fatal("degraded JSON missing the degraded reason")
+	}
+	if res.Best.Cost > 20 {
+		t.Fatalf("degraded incumbent cost %.1f over budget", res.Best.Cost)
 	}
 }

@@ -40,6 +40,7 @@
 package diversify
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -300,8 +301,18 @@ var optimizeClasses = map[string]exploits.Class{
 // random placement at the same budget, and the cost-vs-risk Pareto front
 // of everything evaluated. Placement is restricted to the monitoring and
 // control system proper — hardening the attacker's entry PCs is not a
-// defense the paper considers.
+// defense the paper considers. It is OptimizeContext under a background
+// context.
 func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
+	return OptimizeContext(context.Background(), cfg)
+}
+
+// OptimizeContext is Optimize under a caller-controlled context:
+// cancelling ctx (Ctrl-C, a deadline, a service shutting down) stops
+// the search at the next step boundary and returns the best feasible
+// candidate found so far, with OptimizeResult.Degraded naming the
+// interruption, instead of discarding a long run's progress.
+func OptimizeContext(ctx context.Context, cfg OptimizeConfig) (*OptimizeResult, error) {
 	topo, err := buildTopology(cfg.Topology)
 	if err != nil {
 		return nil, err
@@ -373,7 +384,7 @@ func Optimize(cfg OptimizeConfig) (*OptimizeResult, error) {
 	if node <= 0 {
 		node = 2
 	}
-	return optimize.Run(optimize.Problem{
+	return optimize.RunContext(ctx, optimize.Problem{
 		Topo: topo, Catalog: cat, Profile: profile,
 		Options:   options,
 		Cost:      diversity.CostModel{PlatformCost: platform, NodeCost: node},

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 
 	"diversify/internal/rng"
@@ -27,7 +28,7 @@ type Anneal struct {
 func (*Anneal) Name() string { return "anneal" }
 
 // Search implements Optimizer.
-func (an *Anneal) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
+func (an *Anneal) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
 	iters := p.Iterations
 	if iters <= 0 {
 		iters = 300
@@ -54,6 +55,9 @@ func (an *Anneal) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 	trace := make([]TraceStep, 0, iters)
 	temp := t0
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return trace, err
+		}
 		cand := current.Clone()
 		action := ms.mutate(&cand, r)
 		if cost := ev.Cost(cand); cost > p.Budget+budgetEps {
@@ -77,7 +81,7 @@ func (an *Anneal) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 		}
 		s, err := ev.Score(cand)
 		if err != nil {
-			return nil, err
+			return trace, err
 		}
 		delta := s.Value - cur.Value
 		accepted := delta <= 0 || r.Float64() < math.Exp(-delta/temp)

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -80,6 +81,11 @@ type Evaluator struct {
 	p     *Problem
 	seeds []uint64
 
+	// ctx cancels evaluations: workers stop claiming replication batches
+	// once it is done (in-flight replications drain cleanly) and Score
+	// returns the context error without caching a partial measurement.
+	ctx context.Context
+
 	nWorkers int
 	batch    int
 	camps    []*malware.Campaign
@@ -142,6 +148,8 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 	}
 	ev := &Evaluator{
 		p:        p,
+		ctx:      context.Background(),
+		repHook:  p.repHook,
 		seeds:    seeds,
 		nWorkers: w,
 		batch:    batch,
@@ -225,6 +233,9 @@ func (e *Evaluator) engines(rot int) ([]*rotation.Engine, error) {
 // evaluation order or worker count. The candidate is snapshotted, so the
 // caller may keep mutating it.
 func (e *Evaluator) Score(c Candidate) (Score, error) {
+	if err := e.ctx.Err(); err != nil {
+		return Score{}, err
+	}
 	fp := c.fingerprint(e.rotFPs)
 	if s, ok := e.cache[fp]; ok {
 		e.hits++
@@ -298,7 +309,10 @@ func (e *Evaluator) simulate(c Candidate) (Score, error) {
 		go func(w int) {
 			defer wg.Done()
 			for {
-				if poisoned.Load() {
+				// Stop claiming work on cancellation (the in-flight
+				// replication drained before we got here) or when a sibling
+				// worker tripped a quarantine.
+				if poisoned.Load() || e.ctx.Err() != nil {
 					return
 				}
 				// Batched dynamic dispatch: replication i always runs stream
@@ -328,6 +342,12 @@ func (e *Evaluator) simulate(c Candidate) (Score, error) {
 		}(w)
 	}
 	wg.Wait()
+	// Cancellation wins over partial measurements: the caller gets the
+	// context error, nothing is cached, and the replication buffers are
+	// simply abandoned.
+	if err := e.ctx.Err(); err != nil {
+		return Score{}, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return Score{}, err

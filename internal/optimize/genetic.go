@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 
@@ -34,7 +35,7 @@ type indiv struct {
 }
 
 // Search implements Optimizer.
-func (g *Genetic) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
+func (g *Genetic) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
 	gens := p.Iterations
 	if gens <= 0 {
 		gens = 25
@@ -101,6 +102,9 @@ func (g *Genetic) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 	}
 	trace := make([]TraceStep, 0, gens)
 	for gen := 0; gen < gens; gen++ {
+		if err := ctx.Err(); err != nil {
+			return trace, err
+		}
 		rank()
 		trace = append(trace, TraceStep{
 			Iter:   gen,
@@ -122,7 +126,7 @@ func (g *Genetic) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 			next = append(next, child)
 		}
 		if pop, err = score(next); err != nil {
-			return nil, err
+			return trace, err
 		}
 	}
 	rank()

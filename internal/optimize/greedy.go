@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,15 +25,17 @@ type Greedy struct{}
 func (*Greedy) Name() string { return "greedy" }
 
 // Search implements Optimizer. Greedy is deterministic and ignores r.
-func (*Greedy) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
-	trace, _, err := greedySearch(p, ev, p.Iterations)
+func (*Greedy) Search(ctx context.Context, p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
+	trace, _, err := greedySearch(ctx, p, ev, p.Iterations)
 	return trace, err
 }
 
 // greedySearch runs the marginal-gain loop and additionally returns the
 // incumbent candidate after every accepted round — the trajectory the
-// NSGA-II strategy seeds its population from.
-func greedySearch(p *Problem, ev *Evaluator, maxRounds int) ([]TraceStep, []Candidate, error) {
+// NSGA-II strategy seeds its population from. Cancellation stops the
+// loop at the next round (or evaluation) boundary, returning the rounds
+// accepted so far together with the context error.
+func greedySearch(ctx context.Context, p *Problem, ev *Evaluator, maxRounds int) ([]TraceStep, []Candidate, error) {
 	current := p.baseCand()
 	cur, err := ev.Score(current)
 	if err != nil {
@@ -46,6 +49,9 @@ func greedySearch(p *Problem, ev *Evaluator, maxRounds int) ([]TraceStep, []Cand
 	var trace []TraceStep
 	var incumbents []Candidate
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return trace, incumbents, err
+		}
 		// bestIdx >= 0 selects an option; bestRot != current.Rot (with
 		// bestIdx == -1) selects a schedule switch.
 		bestIdx, bestRot := -1, current.Rot
@@ -71,7 +77,14 @@ func greedySearch(p *Problem, ev *Evaluator, maxRounds int) ([]TraceStep, []Cand
 			if ev.Cost(current) <= p.Budget+budgetEps && ev.ZoneOK(current.A) {
 				s, err := ev.Score(current)
 				if err != nil {
-					return nil, nil, err
+					// Undo the tentative option so the incumbents returned on
+					// cancellation are real accepted rounds, not a probe state.
+					if had {
+						current.A.Set(opt.Node, opt.Class, prev)
+					} else {
+						current.A.Unset(opt.Node, opt.Class)
+					}
+					return trace, incumbents, err
 				}
 				consider(s, i, current.Rot)
 			}
@@ -93,7 +106,7 @@ func greedySearch(p *Problem, ev *Evaluator, maxRounds int) ([]TraceStep, []Cand
 			}
 			s, err := ev.Score(cand)
 			if err != nil {
-				return nil, nil, err
+				return trace, incumbents, err
 			}
 			consider(s, -1, rot)
 		}

@@ -27,6 +27,7 @@ package optimize
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -217,6 +218,11 @@ type Problem struct {
 	Population int
 	// FirewallVariant optionally overrides every firewalled link.
 	FirewallVariant exploits.VariantID
+
+	// repHook is the robustness tests' fault-injection seam: called once
+	// per replication attempt before the campaign runs. Unexported — the
+	// public search surface has no business observing replications.
+	repHook func(c Candidate, rep int)
 }
 
 // normalize fills defaults in place.
@@ -408,6 +414,12 @@ type Result struct {
 	BestRotationSpec *rotation.Spec `json:"-"`
 	Trace          []TraceStep           `json:"trace"`
 	Pareto         []ParetoPoint         `json:"pareto"`
+	// Degraded is empty for a run that completed normally; otherwise it
+	// names why the search stopped early (context cancellation or
+	// deadline). A degraded result still carries the best feasible
+	// candidate, trace prefix and front evaluated before the
+	// interruption, but Random is skipped (zero Score).
+	Degraded string `json:"degraded,omitempty"`
 	// Cache and effort accounting: Evaluations counts simulated
 	// candidates (== CacheMisses), Replications total campaign runs.
 	CacheHits    int `json:"cache_hits"`
@@ -420,9 +432,15 @@ type Result struct {
 // by calling ev.Score (memoized, budget-blind — strategies must check
 // ev.Cost themselves) and returns its step trace; Run extracts the best
 // feasible candidate from the evaluator archive afterwards.
+//
+// Search must honor ctx: when it is cancelled (or its deadline passes),
+// the strategy stops at the next step boundary and returns the partial
+// trace together with the context's error. Everything evaluated so far
+// stays in the evaluator archive, so Run can still extract a best-so-far
+// incumbent and front from an interrupted search.
 type Optimizer interface {
 	Name() string
-	Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error)
+	Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error)
 }
 
 // ByName returns the named strategy ("greedy", "anneal", "genetic",
@@ -446,8 +464,27 @@ func ByName(name string) (Optimizer, error) {
 
 // Run executes one optimization: baseline evaluation, strategy search,
 // best-candidate extraction, Pareto front and the random-fill comparison
-// baseline.
+// baseline. It is RunContext under a background context.
 func Run(p Problem, o Optimizer) (*Result, error) {
+	return RunContext(context.Background(), p, o)
+}
+
+// interrupted reports whether err is a context cancellation or deadline
+// (possibly wrapped) — the errors that degrade a run instead of failing
+// it.
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunContext is Run under a caller-controlled context. Cancelling ctx
+// (or passing one with a deadline) stops the search at the next step
+// boundary: in-flight replications drain, and instead of returning
+// nothing the run reports the best feasible candidate evaluated so far
+// — with Result.Degraded naming the interruption — so a multi-minute
+// search killed by Ctrl-C still salvages its incumbent and front. A
+// context cancelled before the baseline evaluation completes returns an
+// error: with nothing evaluated there is no incumbent to salvage.
+func RunContext(ctx context.Context, p Problem, o Optimizer) (*Result, error) {
 	p.normalize()
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -459,13 +496,18 @@ func Run(p Problem, o Optimizer) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ev.ctx = ctx
 	baseline, err := ev.Score(p.baseCand())
 	if err != nil {
 		return nil, err
 	}
-	trace, err := o.Search(&p, ev, newSearchRand(p.Seed, o.Name()))
+	degraded := ""
+	trace, err := o.Search(ctx, &p, ev, newSearchRand(p.Seed, o.Name()))
 	if err != nil {
-		return nil, err
+		if !interrupted(err) {
+			return nil, err
+		}
+		degraded = "search interrupted: " + err.Error()
 	}
 	best, bestC, bestFP := ev.bestFeasible(p.Budget)
 	if bestC.A == nil {
@@ -479,13 +521,23 @@ func Run(p Problem, o Optimizer) (*Result, error) {
 	// the random baseline's simulation is not billed to the strategy.
 	hits, misses := ev.hits, ev.misses
 	// The random baseline is evaluated outside the archive so "best found
-	// by the strategy" never silently points at the comparison row.
-	mark := len(ev.archive)
-	random, err := ev.Score(Candidate{A: randomFill(&p, newSearchRand(p.Seed, "random-baseline")), Rot: -1})
-	if err != nil {
-		return nil, err
+	// by the strategy" never silently points at the comparison row. A
+	// degraded run skips it (its zero Score documents itself via
+	// Degraded): the incumbent should reach the caller as fast as the
+	// drain allows, not after one more full evaluation.
+	var random Score
+	if degraded == "" {
+		mark := len(ev.archive)
+		random, err = ev.Score(Candidate{A: randomFill(&p, newSearchRand(p.Seed, "random-baseline")), Rot: -1})
+		ev.archive = ev.archive[:mark]
+		if err != nil {
+			if !interrupted(err) {
+				return nil, err
+			}
+			degraded = "random baseline skipped: " + err.Error()
+			random = Score{}
+		}
 	}
-	ev.archive = ev.archive[:mark]
 	res := &Result{
 		Strategy:        o.Name(),
 		Objective:       p.Objective.String(),
@@ -499,6 +551,7 @@ func Run(p Problem, o Optimizer) (*Result, error) {
 		Decisions:       decisionsOf(p.Topo, bestC.A),
 		Trace:           trace,
 		Pareto:          paretoFront(&p, ev),
+		Degraded:        degraded,
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		Evaluations:     misses,

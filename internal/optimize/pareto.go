@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -59,7 +60,7 @@ type pind struct {
 }
 
 // Search implements Optimizer.
-func (pt *Pareto) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
+func (pt *Pareto) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
 	gens := p.Iterations
 	if gens <= 0 {
 		gens = 20
@@ -109,7 +110,7 @@ func (pt *Pareto) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 		if clamp := 4 * popSize; seedP.ScreenTop <= 0 || seedP.ScreenTop > clamp {
 			seedP.ScreenTop = clamp
 		}
-		_, incumbents, err := greedySearch(&seedP, ev, rounds)
+		_, incumbents, err := greedySearch(ctx, &seedP, ev, rounds)
 		if err != nil {
 			return nil, err
 		}
@@ -126,6 +127,9 @@ func (pt *Pareto) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 	}
 	trace := make([]TraceStep, 0, gens+1)
 	for gen := 0; gen < gens; gen++ {
+		if err := ctx.Err(); err != nil {
+			return trace, err
+		}
 		rank, crowd := rankAndCrowd(p.Axes, pop)
 		trace = append(trace, paretoTraceStep(gen, pop, rank))
 		tournament := func() pind {
@@ -152,7 +156,7 @@ func (pt *Pareto) Search(p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, e
 		}
 		scored, err := score(children)
 		if err != nil {
-			return nil, err
+			return trace, err
 		}
 		pop = selectSurvivors(p.Axes, append(pop, scored...), popSize)
 	}

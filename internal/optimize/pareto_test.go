@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -28,7 +29,7 @@ func TestParetoPointsNonDominatedInArchive(t *testing.T) {
 		if _, err := ev.Score(p.baseCand()); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := o.Search(&p, ev, newSearchRand(p.Seed, o.Name())); err != nil {
+		if _, err := o.Search(context.Background(), &p, ev, newSearchRand(p.Seed, o.Name())); err != nil {
 			t.Fatal(err)
 		}
 		front := paretoFront(&p, ev)

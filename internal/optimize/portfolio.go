@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 
 	"diversify/internal/rng"
@@ -27,8 +28,10 @@ func (*Portfolio) Name() string { return "portfolio" }
 
 // Search implements Optimizer. Each stage draws from its own role-keyed
 // stream, so the portfolio is deterministic for a given seed and its
-// stages do not perturb one another's draws.
-func (pf *Portfolio) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
+// stages do not perturb one another's draws. A cancelled context stops
+// the chain after the current stage's partial trace — everything the
+// earlier stages evaluated stays in the shared archive.
+func (pf *Portfolio) Search(ctx context.Context, p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
 	var trace []TraceStep
 	appendStage := func(stage string, steps []TraceStep) {
 		for _, s := range steps {
@@ -38,11 +41,11 @@ func (pf *Portfolio) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep
 		}
 	}
 	greedy := &Greedy{}
-	gSteps, err := greedy.Search(p, ev, newSearchRand(p.Seed, "portfolio-greedy"))
-	if err != nil {
-		return nil, err
-	}
+	gSteps, err := greedy.Search(ctx, p, ev, newSearchRand(p.Seed, "portfolio-greedy"))
 	appendStage("greedy", gSteps)
+	if err != nil {
+		return trace, err
+	}
 
 	// Seed the stochastic stages from the best feasible candidate so far
 	// (the greedy incumbent — placement AND schedule — or the baseline
@@ -52,11 +55,11 @@ func (pf *Portfolio) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep
 		seeded.Base = bestC.A
 		seeded.BaseRotation = bestC.Rot + 1
 	}
-	aSteps, err := pf.Anneal.Search(&seeded, ev, newSearchRand(p.Seed, "portfolio-anneal"))
-	if err != nil {
-		return nil, err
-	}
+	aSteps, err := pf.Anneal.Search(ctx, &seeded, ev, newSearchRand(p.Seed, "portfolio-anneal"))
 	appendStage("anneal", aSteps)
+	if err != nil {
+		return trace, err
+	}
 
 	// Genetic restarts from the CURRENT best (annealing may have improved
 	// on greedy), seeding its population with the strongest incumbent.
@@ -64,11 +67,11 @@ func (pf *Portfolio) Search(p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep
 		seeded.Base = bestC.A
 		seeded.BaseRotation = bestC.Rot + 1
 	}
-	genSteps, err := pf.Genetic.Search(&seeded, ev, newSearchRand(p.Seed, "portfolio-genetic"))
-	if err != nil {
-		return nil, err
-	}
+	genSteps, err := pf.Genetic.Search(ctx, &seeded, ev, newSearchRand(p.Seed, "portfolio-genetic"))
 	appendStage("genetic", genSteps)
+	if err != nil {
+		return trace, err
+	}
 
 	best, _, fp := ev.bestFeasible(p.Budget)
 	trace = append(trace, TraceStep{

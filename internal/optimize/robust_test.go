@@ -1,11 +1,16 @@
 package optimize
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"diversify/internal/diversity"
+	"diversify/internal/rng"
 )
 
 // Panic isolation: a candidate whose evaluation panics on every attempt
@@ -152,5 +157,96 @@ func TestPanicIsolationSweep(t *testing.T) {
 	}
 	if quar == 0 || quar != ev.quarantined {
 		t.Fatalf("sweep quarantined %d candidates (counter %d), want a consistent nonzero count", quar, ev.quarantined)
+	}
+}
+
+// Cancelling the context at an arbitrary replication boundary must
+// still yield a valid, feasible, within-budget incumbent (never worse
+// than the baseline, which is evaluated before the search starts) —
+// for every strategy. The fault-injection hook cancels after the k-th
+// replication attempt, sweeping k across the whole run.
+func TestCancelAtRandomPointsYieldsFeasibleIncumbent(t *testing.T) {
+	for si, name := range []string{"greedy", "anneal", "genetic", "portfolio", "pareto"} {
+		o, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(0xC0FFEE + si))
+		for trial := 0; trial < 4; trial++ {
+			p := testProblem(uint64(11 + trial))
+			p.Iterations = 10
+			limit := int64(1 + r.Intn(40*p.Reps))
+			ctx, cancel := context.WithCancel(context.Background())
+			var calls atomic.Int64
+			p.repHook = func(Candidate, int) {
+				if calls.Add(1) == limit {
+					cancel()
+				}
+			}
+			res, err := RunContext(ctx, p, o)
+			cancel()
+			if err != nil {
+				// The only unsalvageable window: cancellation before the
+				// baseline evaluation finished — nothing was measured yet.
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("%s trial %d: %v", name, trial, err)
+				}
+				if limit > int64(p.Reps) {
+					t.Fatalf("%s trial %d: hard failure after the baseline completed (limit %d > reps %d)",
+						name, trial, limit, p.Reps)
+				}
+				continue
+			}
+			if res.BestAssignment == nil {
+				t.Fatalf("%s trial %d: nil best assignment", name, trial)
+			}
+			if res.Best.Cost > p.Budget+budgetEps {
+				t.Fatalf("%s trial %d: best cost %.2f over budget %.2f", name, trial, res.Best.Cost, p.Budget)
+			}
+			if res.Best.Quarantined {
+				t.Fatalf("%s trial %d: quarantined incumbent", name, trial)
+			}
+			if res.Best.Value > res.Baseline.Value {
+				t.Fatalf("%s trial %d: best %.4f worse than baseline %.4f", name, trial, res.Best.Value, res.Baseline.Value)
+			}
+			if res.Degraded != "" && (res.Random != Score{}) {
+				t.Fatalf("%s trial %d: degraded run evaluated the random baseline", name, trial)
+			}
+			for i, pt := range res.Pareto {
+				if pt.Cost > p.Budget+budgetEps {
+					t.Fatalf("%s trial %d: front point %d over budget", name, trial, i)
+				}
+			}
+		}
+	}
+}
+
+// A context that is already dead fails fast with its error: with no
+// baseline evaluated there is no incumbent to degrade to.
+func TestRunContextDeadDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	o, _ := ByName("greedy")
+	if _, err := RunContext(ctx, testProblem(1), o); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// An undisturbed RunContext must be byte-identical to Run — the context
+// plumbing adds no draws and no reordering.
+func TestRunContextMatchesRun(t *testing.T) {
+	o, _ := ByName("anneal")
+	a, err := Run(testProblem(21), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), testProblem(21), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("RunContext diverged from Run on the same problem")
 	}
 }
