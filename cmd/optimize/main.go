@@ -84,6 +84,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "RNG seed (fixes the whole search)")
 		workers    = fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
 		asJSON     = fs.Bool("json", false, "emit the full result as JSON")
+		checkpoint = fs.String("checkpoint", "", "snapshot the search state to this file (crash-safe atomic writes; resumable with -resume)")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "evaluations between checkpoint snapshots (0 = default 32)")
+		resume     = fs.String("resume", "", "restore a -checkpoint file before searching; the deterministic replay reproduces the uninterrupted result byte for byte (missing file = fresh start)")
+		storePath  = fs.String("store", "", "durable evaluation store: append completed measurements here and warm-start re-optimizations from them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,9 +103,22 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		Budget:     *budget, PlatformCost: *platform, NodeCost: *nodeCost,
 		Iterations: *iters, Population: *pop,
 		Reps: *reps, HorizonHours: *horizon, Seed: *seed, Workers: *workers,
+		Checkpoint: *checkpoint, CheckpointEvery: *ckptEvery,
+		Resume: *resume, Store: *storePath,
 	})
 	if err != nil {
 		return err
+	}
+	// Fault-tolerance bookkeeping goes to stderr: stdout must stay
+	// byte-identical between clean, checkpointed and resumed runs.
+	if res.Stats.Resumed {
+		fmt.Fprintf(errw, "optimize: resumed %d evaluations from %s\n", res.Stats.RestoredEvaluations, *resume)
+	}
+	if res.Stats.Checkpoints > 0 {
+		fmt.Fprintf(errw, "optimize: %d checkpoint snapshots to %s (%v)\n", res.Stats.Checkpoints, *checkpoint, res.Stats.CheckpointTime)
+	}
+	if *storePath != "" {
+		fmt.Fprintf(errw, "optimize: evaluation store %s: %d hits, %d new measurements\n", *storePath, res.Stats.StoreHits, res.Stats.StorePuts)
 	}
 	// A degraded (interrupted) run still prints the full report — table
 	// or JSON — then surfaces the distinct exit code through errDegraded.

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -336,5 +338,78 @@ func TestRunDegradedOnCancel(t *testing.T) {
 	}
 	if res.Best.Cost > 20 {
 		t.Fatalf("degraded incumbent cost %.1f over budget", res.Best.Cost)
+	}
+}
+
+// The full crash-recovery loop at CLI level: interrupt a checkpointed
+// run, then resume it (under a different worker count) and get stdout
+// byte-identical to an uninterrupted run — the user-facing form of the
+// replay-based resume contract.
+func TestRunResumeReproducesCleanOutput(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "search.ckpt")
+	base := []string{
+		"-topo", "powergrid", "-strategy", "anneal", "-objective", "ratio",
+		"-budget", "20", "-reps", "16", "-horizon", "240",
+		"-iterations", "400", "-seed", "9", "-json",
+	}
+	var clean bytes.Buffer
+	if err := run(t.Context(), append([]string{"-workers", "4"}, base...), &clean, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt a checkpointed run partway through.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-checkpoint", ck, "-checkpoint-every", "5", "-workers", "4"}, base...), io.Discard, io.Discard)
+	}()
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	err := <-done
+	var deg *errDegraded
+	if err != nil && !errors.As(err, &deg) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if _, statErr := os.Stat(ck); statErr != nil {
+		t.Fatalf("interrupted run left no checkpoint: %v", statErr)
+	}
+	// Resume under different worker counts: stdout must match the clean
+	// run byte for byte, stderr must report the restore.
+	for _, workers := range []string{"1", "3"} {
+		var out, errb bytes.Buffer
+		if err := run(t.Context(), append([]string{"-resume", ck, "-workers", workers}, base...), &out, &errb); err != nil {
+			t.Fatalf("resume with %s workers: %v", workers, err)
+		}
+		if out.String() != clean.String() {
+			t.Fatalf("resumed stdout (workers=%s) differs from the clean run", workers)
+		}
+		if err == nil && !strings.Contains(errb.String(), "resumed") {
+			// The injected interruption may have raced the search's natural
+			// completion; a full checkpoint still restores > 0 evaluations.
+			t.Fatalf("stderr missing the resume notice: %q", errb.String())
+		}
+	}
+}
+
+// The durable store at CLI level: a second identical run is served from
+// the store (stderr reports the hits) and prints identical stdout.
+func TestRunStoreWarmStart(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "evals.store")
+	args := append(smallArgs("greedy"), "-store", store)
+	var first, firstErr bytes.Buffer
+	if err := run(t.Context(), args, &first, &firstErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(firstErr.String(), "new measurements") {
+		t.Fatalf("first run stderr missing store notice: %q", firstErr.String())
+	}
+	var second, secondErr bytes.Buffer
+	if err := run(t.Context(), args, &second, &secondErr); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("store-backed re-run printed different stdout")
+	}
+	if !strings.Contains(secondErr.String(), "0 new measurements") {
+		t.Fatalf("warm re-run stderr should report no new measurements: %q", secondErr.String())
 	}
 }

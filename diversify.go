@@ -254,6 +254,20 @@ type OptimizeConfig struct {
 	HorizonHours float64
 	Seed         uint64
 	Workers      int
+	// Checkpoint, when set, snapshots the search state to this file
+	// every CheckpointEvery evaluations (default 32) and at the end of
+	// the search — crash-safe via atomic rename, resumable via Resume.
+	Checkpoint      string
+	CheckpointEvery int
+	// Resume restores a previous run's checkpoint before searching; the
+	// deterministic replay makes the final result byte-identical to an
+	// uninterrupted run. A missing file starts fresh (crash-restart
+	// loops); a corrupt or mismatched file is an error.
+	Resume string
+	// Store, when set, attaches the durable evaluation store at this
+	// path: completed measurements are appended crash-safely and re-used
+	// to warm-start re-optimizations under tweaked budgets or objectives.
+	Store string
 }
 
 // buildTopology resolves a topology selector: the named reference plants
@@ -384,7 +398,7 @@ func OptimizeContext(ctx context.Context, cfg OptimizeConfig) (*OptimizeResult, 
 	if node <= 0 {
 		node = 2
 	}
-	return optimize.RunContext(ctx, optimize.Problem{
+	return optimize.RunWith(ctx, optimize.Problem{
 		Topo: topo, Catalog: cat, Profile: profile,
 		Options:   options,
 		Cost:      diversity.CostModel{PlatformCost: platform, NodeCost: node},
@@ -397,5 +411,15 @@ func OptimizeContext(ctx context.Context, cfg OptimizeConfig) (*OptimizeResult, 
 		Horizon:    cfg.HorizonHours,
 		Reps:      cfg.Reps, Workers: cfg.Workers, Seed: cfg.Seed,
 		Iterations: cfg.Iterations, Population: cfg.Population,
-	}, opt)
+	}, opt, optimize.RunOptions{
+		CheckpointPath:  cfg.Checkpoint,
+		CheckpointEvery: cfg.CheckpointEvery,
+		ResumePath:      cfg.Resume,
+		StorePath:       cfg.Store,
+	})
 }
+
+// OptimizeRunStats re-exports the fault-tolerance runtime bookkeeping
+// carried on OptimizeResult.Stats (checkpoint writes, restored and
+// store-served evaluations, wall-clock).
+type OptimizeRunStats = optimize.RunStats

@@ -1,0 +1,335 @@
+package optimize
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"diversify/internal/diversity"
+	"diversify/internal/exploits"
+	"diversify/internal/topology"
+)
+
+// ErrCheckpoint reports an unusable checkpoint file: truncated, corrupt,
+// or taken for a different (problem, strategy) pair.
+var ErrCheckpoint = errors.New("optimize: bad checkpoint")
+
+// ckptMagic identifies checkpoint files ("DVOPCKP" + format version).
+var ckptMagic = [8]byte{'D', 'V', 'O', 'P', 'C', 'K', 'P', '1'}
+
+// defaultCheckpointEvery is the snapshot cadence (evaluations between
+// periodic writes) when RunOptions leaves CheckpointEvery unset.
+const defaultCheckpointEvery = 32
+
+// checkpointer periodically snapshots an evaluator's archive to disk.
+//
+// The design is replay-based: a checkpoint is the memoized evaluation
+// state (every candidate scored so far, in evaluation order), NOT the
+// strategy's program counter. Because every search is a deterministic
+// function of (Problem, strategy, Seed), resuming restores the archive
+// and simply replays the search from the top — every pre-crash
+// evaluation becomes a cache hit, the strategy retraces its exact
+// trajectory at memo speed, and the final Result is byte-identical to an
+// uninterrupted run. No strategy needs to know checkpoints exist.
+type checkpointer struct {
+	path   string
+	every  int
+	digest uint64
+
+	writes int
+	spent  time.Duration
+}
+
+// maybeWrite snapshots when the evaluation count crosses the cadence.
+// Called after every archive append, so the trigger fires exactly once
+// per crossing — in a resumed run at the same evaluation counts as in
+// the original, keeping the two runs' snapshot sequences aligned.
+func (ck *checkpointer) maybeWrite(e *Evaluator) error {
+	if len(e.cache)%ck.every != 0 {
+		return nil
+	}
+	return ck.write(e)
+}
+
+// write unconditionally snapshots the archive (atomic tmp + fsync +
+// rename, so a crash mid-write leaves the previous checkpoint intact).
+func (ck *checkpointer) write(e *Evaluator) error {
+	start := time.Now()
+	err := atomicWriteFile(ck.path, encodeCheckpoint(ck.digest, e.archive))
+	ck.spent += time.Since(start)
+	if err != nil {
+		return fmt.Errorf("optimize: checkpoint %s: %w", ck.path, err)
+	}
+	ck.writes++
+	return nil
+}
+
+// scoreFields flattens a Score's measurements in the fixed serialization
+// order; scoreFromFields inverts it.
+func scoreFields(s Score) [12]float64 {
+	return [12]float64{
+		s.Value, s.PSuccess, s.MeanTTSF, s.FinalRatio, s.PDetect,
+		s.MeanDetLatency, s.MeanDetections, s.Cost, s.MeanFoothold,
+		s.MeanRotations, s.MeanReinfections, s.MeanRotationCost,
+	}
+}
+
+func scoreFromFields(f [12]float64, quarantined bool) Score {
+	return Score{
+		Value: f[0], PSuccess: f[1], MeanTTSF: f[2], FinalRatio: f[3],
+		PDetect: f[4], MeanDetLatency: f[5], MeanDetections: f[6],
+		Cost: f[7], MeanFoothold: f[8], MeanRotations: f[9],
+		MeanReinfections: f[10], MeanRotationCost: f[11],
+		Quarantined: quarantined,
+	}
+}
+
+// encodeCheckpoint serializes the archive:
+//
+//	magic[8] | problemDigest u64 | count u32 | records... | crc32 u32
+//
+// record: fp u64 | rot i32 | flags u8 (1 zoneOK, 2 quarantined) |
+// nEntries u32 | entries (node u32, class u32, len u16, variant...) |
+// 12 × measurement f64. All little-endian; the trailing CRC32 (IEEE)
+// covers everything before it.
+func encodeCheckpoint(digest uint64, archive []archived) []byte {
+	le := binary.LittleEndian
+	buf := make([]byte, 0, 64+len(archive)*192)
+	buf = append(buf, ckptMagic[:]...)
+	buf = le.AppendUint64(buf, digest)
+	buf = le.AppendUint32(buf, uint32(len(archive)))
+	for _, a := range archive {
+		buf = le.AppendUint64(buf, a.fingerprint)
+		buf = le.AppendUint32(buf, uint32(int32(a.cand.Rot)))
+		var flags byte
+		if a.zoneOK {
+			flags |= 1
+		}
+		if a.score.Quarantined {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		entries := a.cand.A.Entries()
+		buf = le.AppendUint32(buf, uint32(len(entries)))
+		for _, en := range entries {
+			buf = le.AppendUint32(buf, uint32(en.Node))
+			buf = le.AppendUint32(buf, uint32(en.Class))
+			buf = le.AppendUint16(buf, uint16(len(en.Variant)))
+			buf = append(buf, en.Variant...)
+		}
+		for _, f := range scoreFields(a.score) {
+			buf = le.AppendUint64(buf, math.Float64bits(f))
+		}
+	}
+	return le.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// ckptRec is one decoded archive record, before problem-level validation.
+type ckptRec struct {
+	fp          uint64
+	rot         int
+	zoneOK      bool
+	quarantined bool
+	entries     []diversity.Entry
+	score       Score
+}
+
+// byteReader walks a checkpoint payload with saturating error state, so
+// decode loops never index past a truncated buffer.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.err = fmt.Errorf("%w: truncated at byte %d", ErrCheckpoint, r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// decodeCheckpoint parses and integrity-checks a checkpoint image. It
+// never panics on malformed input — truncation, flipped bytes and
+// implausible counts all come back as ErrCheckpoint (the fuzz harness
+// pins this).
+func decodeCheckpoint(data []byte) (digest uint64, recs []ckptRec, err error) {
+	const minSize = 8 + 8 + 4 + 4 // magic + digest + count + crc
+	if len(data) < minSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes is below the %d-byte minimum", ErrCheckpoint, len(data), minSize)
+	}
+	if [8]byte(data[:8]) != ckptMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCheckpoint, data[:8])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return 0, nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrCheckpoint, want, got)
+	}
+	r := &byteReader{b: body, off: 8}
+	digest = r.u64()
+	count := r.u32()
+	for i := uint32(0); i < count && r.err == nil; i++ {
+		var rec ckptRec
+		rec.fp = r.u64()
+		rec.rot = int(int32(r.u32()))
+		flags := r.u8()
+		if flags&^byte(3) != 0 {
+			return 0, nil, fmt.Errorf("%w: record %d: unknown flags %#x", ErrCheckpoint, i, flags)
+		}
+		rec.zoneOK = flags&1 != 0
+		rec.quarantined = flags&2 != 0
+		nEntries := r.u32()
+		for j := uint32(0); j < nEntries && r.err == nil; j++ {
+			node := r.u32()
+			class := r.u32()
+			variant := r.take(int(r.u16()))
+			rec.entries = append(rec.entries, diversity.Entry{
+				Node:    topology.NodeID(node),
+				Class:   exploits.Class(class),
+				Variant: exploits.VariantID(variant),
+			})
+		}
+		var fields [12]float64
+		for k := range fields {
+			fields[k] = math.Float64frombits(r.u64())
+		}
+		rec.score = scoreFromFields(fields, rec.quarantined)
+		recs = append(recs, rec)
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if r.off != len(body) {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after %d records", ErrCheckpoint, len(body)-r.off, count)
+	}
+	return digest, recs, nil
+}
+
+// restoreCheckpoint loads path into the evaluator's cache and archive,
+// returning how many evaluations were restored. The file's problem
+// digest must match the current (problem, strategy) digest, every
+// record's fingerprint must recompute from its decoded candidate, and
+// node/rotation indices must exist in the current problem — a checkpoint
+// that passes is semantically replayable, not just well-formed.
+func restoreCheckpoint(ev *Evaluator, path string, digest uint64) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	fileDigest, recs, err := decodeCheckpoint(data)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if fileDigest != digest {
+		return 0, fmt.Errorf("%w: %s was taken for a different problem or strategy (digest %016x, want %016x)",
+			ErrCheckpoint, path, fileDigest, digest)
+	}
+	nNodes := len(ev.p.Topo.Nodes())
+	for i, rec := range recs {
+		if rec.rot < -1 || rec.rot >= len(ev.p.Rotations) {
+			return 0, fmt.Errorf("%w: %s: record %d: rotation %d outside [-1, %d)",
+				ErrCheckpoint, path, i, rec.rot, len(ev.p.Rotations))
+		}
+		a := diversity.NewAssignment()
+		for _, en := range rec.entries {
+			if int(en.Node) < 0 || int(en.Node) >= nNodes {
+				return 0, fmt.Errorf("%w: %s: record %d: node %d outside topology (%d nodes)",
+					ErrCheckpoint, path, i, en.Node, nNodes)
+			}
+			a.Set(en.Node, en.Class, en.Variant)
+		}
+		cand := Candidate{A: a, Rot: rec.rot}
+		if fp := cand.fingerprint(ev.rotFPs); fp != rec.fp {
+			return 0, fmt.Errorf("%w: %s: record %d: fingerprint %016x does not match candidate (%016x)",
+				ErrCheckpoint, path, i, rec.fp, fp)
+		}
+		if _, dup := ev.cache[rec.fp]; dup {
+			return 0, fmt.Errorf("%w: %s: record %d: duplicate fingerprint %016x", ErrCheckpoint, path, i, rec.fp)
+		}
+		ev.cache[rec.fp] = rec.score
+		ev.archive = append(ev.archive, archived{
+			fingerprint: rec.fp,
+			cand:        cand,
+			score:       rec.score,
+			// Recomputed, not trusted: deterministic for the digest-matched
+			// problem, and immune to a flipped flag bit that survived CRC.
+			zoneOK: ev.ZoneOK(a),
+		})
+	}
+	return len(recs), nil
+}
+
+// atomicWriteFile writes data to path via a same-directory temp file,
+// fsync and rename, so readers (and crash recovery) only ever observe
+// the previous or the new complete image — never a torn write.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best-effort directory sync makes the rename itself durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"diversify/internal/diversity"
+	"diversify/internal/evalstore"
 	"diversify/internal/indicators"
 	"diversify/internal/malware"
 	"diversify/internal/rng"
@@ -106,6 +107,21 @@ type Evaluator struct {
 	// the campaign runs).
 	quarantined int
 	repHook     func(c Candidate, rep int)
+
+	// ck, when non-nil, snapshots the archive to disk after archive
+	// appends (RunWith wires it; nil for plain runs and for the random
+	// baseline, which is excluded from checkpoints).
+	ck *checkpointer
+
+	// store, when non-nil, is the durable evaluation store: cache misses
+	// consult it before simulating (topoFP/specFP complete the key), and
+	// fresh measurements are appended to it. A store write failure
+	// detaches the store instead of killing the search — durability is
+	// auxiliary, the in-memory run is authoritative.
+	store          *evalstore.Store
+	topoFP, specFP uint64
+	storeHits      int
+	storePuts      int
 
 	// Per-replication result buffers, aggregated sequentially in
 	// replication order so float accumulation is independent of the
@@ -242,18 +258,43 @@ func (e *Evaluator) Score(c Candidate) (Score, error) {
 		return s, nil
 	}
 	e.misses++
-	s, err := e.simulate(c)
-	var rp *repPanic
-	if errors.As(err, &rp) {
-		// The candidate's evaluation panicked repeatedly: quarantine it —
-		// cached as infeasible so the search keeps moving and never
-		// revisits it — instead of killing the whole run.
-		e.quarantined++
-		s = Score{Value: quarantineValue, Quarantined: true}
-	} else if err != nil {
-		return Score{}, err
-	} else {
-		s.Value = e.value(s)
+	var s Score
+	stored := false
+	if e.store != nil {
+		if m, ok := e.store.Get(e.storeKey(fp)); ok {
+			// Warm start: the measurements are a pure function of the key,
+			// so re-using them is bit-identical to re-simulating. Value and
+			// Cost are recomputed below under THIS run's objective and cost
+			// model — which is what lets a budget- or objective-tweaked
+			// re-optimization skip the replications.
+			s = scoreFromMeasurements(m)
+			s.Value = e.value(s)
+			e.storeHits++
+			stored = true
+		}
+	}
+	if !stored {
+		var err error
+		s, err = e.simulate(c)
+		var rp *repPanic
+		if errors.As(err, &rp) {
+			// The candidate's evaluation panicked repeatedly: quarantine it —
+			// cached as infeasible so the search keeps moving and never
+			// revisits it — instead of killing the whole run.
+			e.quarantined++
+			s = Score{Value: quarantineValue, Quarantined: true}
+		} else if err != nil {
+			return Score{}, err
+		} else {
+			s.Value = e.value(s)
+			if e.store != nil {
+				if perr := e.store.Put(e.storeKey(fp), measurementsOf(s)); perr != nil {
+					e.store = nil // a broken store must not kill a healthy search
+				} else {
+					e.storePuts++
+				}
+			}
+		}
 	}
 	s.Cost = e.Cost(c)
 	e.cache[fp] = s
@@ -263,6 +304,11 @@ func (e *Evaluator) Score(c Candidate) (Score, error) {
 		score:       s,
 		zoneOK:      e.ZoneOK(c.A),
 	})
+	if e.ck != nil {
+		if cerr := e.ck.maybeWrite(e); cerr != nil {
+			return Score{}, cerr
+		}
+	}
 	return s, nil
 }
 

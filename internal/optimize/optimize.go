@@ -30,10 +30,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"slices"
+	"time"
 
 	"diversify/internal/diversity"
+	"diversify/internal/evalstore"
 	"diversify/internal/exploits"
 	"diversify/internal/malware"
 	"diversify/internal/rng"
@@ -426,6 +429,10 @@ type Result struct {
 	CacheMisses  int `json:"cache_misses"`
 	Evaluations  int `json:"evaluations"`
 	Replications int `json:"replications"`
+	// Stats is the fault-tolerance runtime bookkeeping (checkpoint writes,
+	// restored evaluations, wall-clock). Outside the JSON surface so the
+	// byte-identity contract between clean and resumed runs holds.
+	Stats RunStats `json:"-"`
 }
 
 // Optimizer is one pluggable search strategy. Search explores the space
@@ -462,6 +469,56 @@ func ByName(name string) (Optimizer, error) {
 	}
 }
 
+// RunOptions configures the fault-tolerance runtime around a search:
+// periodic checkpointing and checkpoint resume. The zero value disables
+// both (a plain run).
+type RunOptions struct {
+	// CheckpointPath, when set, snapshots the evaluation archive to this
+	// file (atomic tmp+fsync+rename) every CheckpointEvery evaluations
+	// and once more when the search finishes — including when it is
+	// interrupted, so a SIGINT-degraded run leaves a resumable state.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in evaluations (<= 0
+	// selects the default of 32).
+	CheckpointEvery int
+	// ResumePath, when set, restores a previous run's checkpoint before
+	// searching. The search then replays deterministically: restored
+	// evaluations are cache hits, so the final Result is byte-identical
+	// to an uninterrupted run — under any worker count. A missing file
+	// is not an error (the first run of a crash-restart loop); a corrupt
+	// or mismatched file is.
+	ResumePath string
+	// StorePath, when set, attaches the durable evaluation store
+	// (internal/evalstore): cache misses consult it before spending
+	// replications, fresh measurements are appended crash-safely, and a
+	// later re-optimization — same plant and threat, tweaked budget,
+	// objective or strategy — warm-starts from everything already
+	// measured. Created on first use; a torn tail from a crash is
+	// truncated away on open.
+	StorePath string
+}
+
+// RunStats is the runtime bookkeeping of one RunWith call. It rides on
+// Result outside the JSON surface, so clean, checkpointed and resumed
+// runs stay byte-identical where determinism is asserted.
+type RunStats struct {
+	// Resumed reports that ResumePath existed and was restored;
+	// RestoredEvaluations counts the archive records it contributed.
+	Resumed             bool
+	RestoredEvaluations int
+	// Checkpoints counts snapshot writes; CheckpointTime is the total
+	// wall-clock they consumed (the <=5% overhead budget is asserted
+	// against Elapsed).
+	Checkpoints    int
+	CheckpointTime time.Duration
+	// StoreHits / StorePuts count durable evaluation-store traffic
+	// (zero when no store is attached).
+	StoreHits int
+	StorePuts int
+	// Elapsed is the full RunWith wall-clock.
+	Elapsed time.Duration
+}
+
 // Run executes one optimization: baseline evaluation, strategy search,
 // best-candidate extraction, Pareto front and the random-fill comparison
 // baseline. It is RunContext under a background context.
@@ -485,6 +542,19 @@ func interrupted(err error) bool {
 // context cancelled before the baseline evaluation completes returns an
 // error: with nothing evaluated there is no incumbent to salvage.
 func RunContext(ctx context.Context, p Problem, o Optimizer) (*Result, error) {
+	return RunWith(ctx, p, o, RunOptions{})
+}
+
+// RunWith is RunContext with the fault-tolerance runtime attached:
+// periodic crash-safe checkpoints of the evaluation archive, and resume
+// from a previous checkpoint. Resume is replay-based — the restored
+// archive turns every pre-crash evaluation into a cache hit and the
+// deterministic search retraces its trajectory at memo speed — so a
+// resumed run's Result is byte-identical to an uninterrupted one,
+// regardless of where the original died or how many workers either run
+// used.
+func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Result, error) {
+	started := time.Now()
 	p.normalize()
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -497,6 +567,40 @@ func RunContext(ctx context.Context, p Problem, o Optimizer) (*Result, error) {
 		return nil, err
 	}
 	ev.ctx = ctx
+	var stats RunStats
+	var digest uint64
+	if opts.ResumePath != "" || opts.CheckpointPath != "" {
+		digest = problemDigest(&p, o.Name())
+	}
+	if opts.ResumePath != "" {
+		n, err := restoreCheckpoint(ev, opts.ResumePath, digest)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First run of a crash-restart loop: nothing to resume yet.
+		case err != nil:
+			return nil, err
+		default:
+			stats.Resumed = true
+			stats.RestoredEvaluations = n
+		}
+	}
+	if opts.CheckpointPath != "" {
+		every := opts.CheckpointEvery
+		if every <= 0 {
+			every = defaultCheckpointEvery
+		}
+		ev.ck = &checkpointer{path: opts.CheckpointPath, every: every, digest: digest}
+	}
+	if opts.StorePath != "" {
+		store, err := evalstore.Open(opts.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		ev.store = store
+		ev.topoFP = p.Topo.Fingerprint()
+		ev.specFP = evalSpecDigest(&p)
+	}
 	baseline, err := ev.Score(p.baseCand())
 	if err != nil {
 		return nil, err
@@ -509,6 +613,18 @@ func RunContext(ctx context.Context, p Problem, o Optimizer) (*Result, error) {
 		}
 		degraded = "search interrupted: " + err.Error()
 	}
+	// Final checkpoint: the complete (or interruption-truncated) search
+	// state, written even for a degraded run so a SIGINT leaves the most
+	// resumable file possible. Detached afterwards — the random baseline
+	// below is a comparison row, not search state.
+	if ev.ck != nil {
+		if err := ev.ck.write(ev); err != nil {
+			return nil, err
+		}
+		stats.Checkpoints = ev.ck.writes
+		stats.CheckpointTime = ev.ck.spent
+		ev.ck = nil
+	}
 	best, bestC, bestFP := ev.bestFeasible(p.Budget)
 	if bestC.A == nil {
 		// The baseline is always archived, so this means even the starting
@@ -519,7 +635,12 @@ func RunContext(ctx context.Context, p Problem, o Optimizer) (*Result, error) {
 	}
 	// Snapshot the effort accounting before the comparison row below, so
 	// the random baseline's simulation is not billed to the strategy.
-	hits, misses := ev.hits, ev.misses
+	// The counters are derived logically — misses as distinct evaluated
+	// candidates (cache size), hits as the remaining Score calls — so a
+	// resumed run, whose pre-crash evaluations replay as cache hits,
+	// reports exactly the numbers of the uninterrupted run.
+	misses := len(ev.cache)
+	hits := ev.hits + ev.misses - misses
 	// The random baseline is evaluated outside the archive so "best found
 	// by the strategy" never silently points at the comparison row. A
 	// degraded run skips it (its zero Score documents itself via
@@ -561,6 +682,10 @@ func RunContext(ctx context.Context, p Problem, o Optimizer) (*Result, error) {
 		spec := p.Rotations[bestC.Rot]
 		res.BestRotationSpec = &spec
 	}
+	stats.StoreHits = ev.storeHits
+	stats.StorePuts = ev.storePuts
+	stats.Elapsed = time.Since(started)
+	res.Stats = stats
 	return res, nil
 }
 

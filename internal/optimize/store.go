@@ -1,0 +1,50 @@
+package optimize
+
+import "diversify/internal/evalstore"
+
+// evalSpecDigest hashes everything OUTSIDE the candidate that shapes an
+// evaluation's raw measurements: the exploit catalog, the threat
+// profile, the horizon, the replication count and seed (the common
+// random number streams) and the firewall override. The topology is
+// deliberately left out (it is its own key word), and so are the cost
+// model, budget, objective, axes and search knobs — those shape what
+// the optimizer does with measurements, not the measurements themselves,
+// which is exactly why a re-optimization under a tweaked budget or
+// objective can warm-start from the store.
+func evalSpecDigest(p *Problem) uint64 {
+	d := newDigester()
+	d.str("diversify/evalspec/v1")
+	d.u64(p.Catalog.Fingerprint())
+	digestProfile(d, p)
+	d.f64(p.Horizon)
+	d.i64(int64(p.Reps))
+	d.u64(p.Seed)
+	d.str(string(p.FirewallVariant))
+	return d.sum()
+}
+
+// storeKey builds the durable-store key for a candidate fingerprint.
+func (e *Evaluator) storeKey(candFP uint64) evalstore.Key {
+	return evalstore.Key{Topo: e.topoFP, Cand: candFP, Spec: e.specFP}
+}
+
+// measurementsOf flattens a Score's raw measurements in the store's
+// fixed order — Value and Cost stay out, they are recomputed from the
+// consuming run's own objective and cost model.
+func measurementsOf(s Score) evalstore.Measurements {
+	return evalstore.Measurements{
+		s.PSuccess, s.MeanTTSF, s.FinalRatio, s.PDetect, s.MeanDetLatency,
+		s.MeanDetections, s.MeanFoothold, s.MeanRotations, s.MeanReinfections,
+		s.MeanRotationCost,
+	}
+}
+
+// scoreFromMeasurements inverts measurementsOf (Value and Cost are
+// filled in by the caller).
+func scoreFromMeasurements(m evalstore.Measurements) Score {
+	return Score{
+		PSuccess: m[0], MeanTTSF: m[1], FinalRatio: m[2], PDetect: m[3],
+		MeanDetLatency: m[4], MeanDetections: m[5], MeanFoothold: m[6],
+		MeanRotations: m[7], MeanReinfections: m[8], MeanRotationCost: m[9],
+	}
+}
