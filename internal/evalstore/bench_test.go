@@ -1,0 +1,78 @@
+package evalstore
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func benchStore(b *testing.B, n int) (*Store, string) {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "evals.store")
+	s, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := Key{Topo: 1, Cand: uint64(i), Spec: 2}
+		var m Measurements
+		for j := range m {
+			m[j] = float64(i + j)
+		}
+		if err := s.Put(k, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, path
+}
+
+// BenchmarkStorePut measures one durable append: encode, checksum and a
+// single buffered write — the per-evaluation cost of keeping measurements.
+func BenchmarkStorePut(b *testing.B) {
+	s, _ := benchStore(b, 0)
+	defer s.Close()
+	var m Measurements
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(Key{Cand: uint64(i)}, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures the warm-start hot path: a map probe.
+func BenchmarkStoreGet(b *testing.B) {
+	s, _ := benchStore(b, 1024)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(Key{Topo: 1, Cand: uint64(i % 1024), Spec: 2}); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkStoreOpen measures the replay of a 1024-record log —
+// per-record CRC checks included — the fixed cost of attaching a
+// populated store to a run.
+func BenchmarkStoreOpen(b *testing.B) {
+	s, path := benchStore(b, 1024)
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != 1024 {
+			b.Fatalf("replayed %d records, want 1024", r.Len())
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
