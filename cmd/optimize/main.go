@@ -13,6 +13,13 @@
 //	optimize -topo grid:100 -screen 200   # greedy, top-200 surrogate screen
 //	optimize -topo grid:60 -rotate triggered:48,periodic:72 -budget 24
 //	optimize -max-per-zone 2              # fleet cap: ≤2 platforms per class per zone
+//	optimize -progress                    # live one-line-per-round ticker on stderr
+//	optimize -json -telemetry-json run.telemetry.json   # machine-readable run report
+//	optimize -metrics-listen 127.0.0.1:9090             # /metrics + /debug/pprof during the run
+//
+// Telemetry observes the search, it never steers it: the optimization
+// result is byte-identical with or without -progress, -telemetry-json or
+// -metrics-listen.
 package main
 
 import (
@@ -22,12 +29,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"diversify"
+	"diversify/internal/telemetry"
 )
 
 // exitDegraded is the exit code of an interrupted-but-salvaged run: the
@@ -88,9 +100,42 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		ckptEvery  = fs.Int("checkpoint-every", 0, "evaluations between checkpoint snapshots (0 = default 32)")
 		resume     = fs.String("resume", "", "restore a -checkpoint file before searching; the deterministic replay reproduces the uninterrupted result byte for byte (missing file = fresh start)")
 		storePath  = fs.String("store", "", "durable evaluation store: append completed measurements here and warm-start re-optimizations from them")
+		progress   = fs.Bool("progress", false, "print a live one-line-per-round progress ticker to stderr")
+		telemJSON  = fs.String("telemetry-json", "", "write the JSON run telemetry report to this file")
+		metricsAt  = fs.String("metrics-listen", "", "serve Prometheus /metrics and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The progress sink owns all stderr bookkeeping (resume/checkpoint/
+	// store notices, quarantines, the optional live ticker) so stdout
+	// stays machine-clean and the messages are consistent.
+	sink := telemetry.NewProgress(errw, *progress)
+	var reg *diversify.MetricsRegistry
+	var srvDone func()
+	if *metricsAt != "" {
+		reg = diversify.NewMetricsRegistry()
+		// Listen before the search starts so a bad address fails fast.
+		ln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			return fmt.Errorf("metrics-listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		fmt.Fprintf(errw, "optimize: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+		srvDone = func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(shutCtx)
+		}
+		defer srvDone()
 	}
 	res, err := diversify.OptimizeContext(ctx, diversify.OptimizeConfig{
 		Topology: *topo, Threat: *threat, Strategy: *strategy,
@@ -105,20 +150,26 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		Reps: *reps, HorizonHours: *horizon, Seed: *seed, Workers: *workers,
 		Checkpoint: *checkpoint, CheckpointEvery: *ckptEvery,
 		Resume: *resume, Store: *storePath,
+		ProgressSink: sink, Metrics: reg,
 	})
 	if err != nil {
 		return err
 	}
-	// Fault-tolerance bookkeeping goes to stderr: stdout must stay
-	// byte-identical between clean, checkpointed and resumed runs.
-	if res.Stats.Resumed {
-		fmt.Fprintf(errw, "optimize: resumed %d evaluations from %s\n", res.Stats.RestoredEvaluations, *resume)
+	if *telemJSON != "" && res.Telemetry != nil {
+		data, err := json.MarshalIndent(res.Telemetry, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*telemJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
-	if res.Stats.Checkpoints > 0 {
-		fmt.Fprintf(errw, "optimize: %d checkpoint snapshots to %s (%v)\n", res.Stats.Checkpoints, *checkpoint, res.Stats.CheckpointTime)
-	}
-	if *storePath != "" {
-		fmt.Fprintf(errw, "optimize: evaluation store %s: %d hits, %d new measurements\n", *storePath, res.Stats.StoreHits, res.Stats.StorePuts)
+	// Stdout must stay byte-identical between clean, checkpointed and
+	// resumed runs: unless a telemetry flag asked for the report, strip
+	// it from the printed result (the always-attached progress sink would
+	// otherwise embed wall-clock noise in -json output).
+	if !*progress && *telemJSON == "" && *metricsAt == "" {
+		res.Telemetry = nil
 	}
 	// A degraded (interrupted) run still prints the full report — table
 	// or JSON — then surfaces the distinct exit code through errDegraded.

@@ -390,6 +390,110 @@ func TestRunResumeReproducesCleanOutput(t *testing.T) {
 	}
 }
 
+// -progress adds a stderr ticker without touching stdout: the table must
+// stay byte-identical to a bare run, and the ticker must report rounds
+// and completion.
+func TestRunProgressTicker(t *testing.T) {
+	var bare bytes.Buffer
+	if err := run(t.Context(), smallArgs("greedy"), &bare, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run(t.Context(), append(smallArgs("greedy"), "-progress"), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != bare.String() {
+		t.Fatal("-progress changed stdout")
+	}
+	for _, want := range []string{"round", "done", "evaluations"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Fatalf("progress stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+}
+
+// -telemetry-json writes the run report; the stdout JSON carries the
+// telemetry key only when a telemetry flag asked for it, so clean -json
+// output stays byte-stable.
+func TestRunTelemetryJSON(t *testing.T) {
+	var clean bytes.Buffer
+	if err := run(t.Context(), append(smallArgs("anneal"), "-json"), &clean, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), `"telemetry"`) {
+		t.Fatal("clean -json output leaked the telemetry report")
+	}
+	report := filepath.Join(t.TempDir(), "run.telemetry.json")
+	var out bytes.Buffer
+	if err := run(t.Context(), append(smallArgs("anneal"), "-json", "-telemetry-json", report), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"telemetry"`) {
+		t.Fatal("-telemetry-json run should embed the report in -json output")
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Strategy      string             `json:"strategy"`
+		Evaluations   int                `json:"evaluations"`
+		CacheHitRatio float64            `json:"cache_hit_ratio"`
+		Rounds        int                `json:"rounds"`
+		Elapsed       float64            `json:"elapsed_seconds"`
+		Wall          map[string]float64 `json:"strategy_wall_seconds"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("telemetry report does not parse: %v", err)
+	}
+	if rep.Strategy != "anneal" || rep.Evaluations == 0 || rep.Rounds == 0 || rep.Elapsed <= 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.CacheHitRatio < 0 || rep.CacheHitRatio > 1 {
+		t.Fatalf("cache hit ratio %v outside [0,1]", rep.CacheHitRatio)
+	}
+	if len(rep.Wall) == 0 {
+		t.Fatalf("report missing per-strategy wall time")
+	}
+	// The telemetry-enabled stdout minus the telemetry key must still be
+	// the clean document: telemetry observes, it never perturbs.
+	var full map[string]json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	delete(full, "telemetry")
+	var want map[string]json.RawMessage
+	if err := json.Unmarshal(clean.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(want) {
+		t.Fatalf("telemetry run changed the result document shape")
+	}
+	for k, v := range want {
+		if string(full[k]) != string(v) {
+			t.Fatalf("telemetry run changed result field %q", k)
+		}
+	}
+}
+
+// -metrics-listen serves /metrics and pprof during the run; a bad
+// address fails fast before any search work.
+func TestRunMetricsListen(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(t.Context(), append(smallArgs("greedy"), "-metrics-listen", "127.0.0.1:0"), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "serving /metrics and /debug/pprof on http://127.0.0.1:") {
+		t.Fatalf("stderr missing the listen notice: %q", errb.String())
+	}
+	if !strings.Contains(out.String(), "best-found") {
+		t.Fatal("metrics-listen run produced no report")
+	}
+	if err := run(t.Context(), []string{"-metrics-listen", "256.0.0.1:99999", "-reps", "2", "-horizon", "24"}, &out, io.Discard); err == nil {
+		t.Fatal("bad -metrics-listen address accepted")
+	}
+}
+
 // The durable store at CLI level: a second identical run is served from
 // the store (stderr reports the hits) and prints identical stdout.
 func TestRunStoreWarmStart(t *testing.T) {

@@ -55,6 +55,7 @@ import (
 	"diversify/internal/optimize"
 	"diversify/internal/rotation"
 	"diversify/internal/scope"
+	"diversify/internal/telemetry"
 	"diversify/internal/topology"
 )
 
@@ -191,7 +192,25 @@ type (
 	PlacementDecision = optimize.Decision
 	// ParetoPoint is one non-dominated candidate of the front.
 	ParetoPoint = optimize.ParetoPoint
+	// ProgressSink receives the structured progress events the runtime
+	// emits while a search runs (run started, round completed, evaluation
+	// batches, checkpoints, quarantines, warm starts, run finished).
+	// Implementations must be safe for concurrent use.
+	ProgressSink = telemetry.Sink
+	// ProgressEvent is one structured progress event; switch on its
+	// concrete type (telemetry.RoundCompleted etc.) or Kind tag.
+	ProgressEvent = telemetry.Event
+	// MetricsRegistry is the dependency-free metrics registry the runtime
+	// fills when attached; it snapshots to Prometheus text exposition.
+	MetricsRegistry = telemetry.Registry
+	// TelemetryReport is the JSON-ready run summary populated on
+	// OptimizeResult.Telemetry when a sink or registry is attached.
+	TelemetryReport = telemetry.Report
 )
+
+// NewMetricsRegistry returns an empty metrics registry to attach via
+// OptimizeConfig.Metrics and scrape via its Handler.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // OptimizeConfig parameterizes the step-4 placement optimization on a
 // built-in reference topology.
@@ -268,6 +287,15 @@ type OptimizeConfig struct {
 	// path: completed measurements are appended crash-safely and re-used
 	// to warm-start re-optimizations under tweaked budgets or objectives.
 	Store string
+	// ProgressSink, when set, receives structured progress events during
+	// the search. Telemetry observes the run, it never steers it: results
+	// are byte-identical with or without a sink attached.
+	ProgressSink ProgressSink
+	// Metrics, when set, is filled with counters, gauges and latency
+	// histograms during the search, ready for Prometheus scraping.
+	// Attaching either ProgressSink or Metrics also populates
+	// OptimizeResult.Telemetry with a JSON-ready run report.
+	Metrics *MetricsRegistry
 }
 
 // buildTopology resolves a topology selector: the named reference plants
@@ -400,22 +428,24 @@ func OptimizeContext(ctx context.Context, cfg OptimizeConfig) (*OptimizeResult, 
 	}
 	return optimize.RunWith(ctx, optimize.Problem{
 		Topo: topo, Catalog: cat, Profile: profile,
-		Options:   options,
-		Cost:      diversity.CostModel{PlatformCost: platform, NodeCost: node},
-		Budget:    cfg.Budget,
+		Options:    options,
+		Cost:       diversity.CostModel{PlatformCost: platform, NodeCost: node},
+		Budget:     cfg.Budget,
 		Objective:  objective,
 		Axes:       axes,
 		ScreenTop:  cfg.ScreenTop,
 		Rotations:  rotations,
 		MaxPerZone: cfg.MaxPerZone,
 		Horizon:    cfg.HorizonHours,
-		Reps:      cfg.Reps, Workers: cfg.Workers, Seed: cfg.Seed,
+		Reps:       cfg.Reps, Workers: cfg.Workers, Seed: cfg.Seed,
 		Iterations: cfg.Iterations, Population: cfg.Population,
 	}, opt, optimize.RunOptions{
 		CheckpointPath:  cfg.Checkpoint,
 		CheckpointEvery: cfg.CheckpointEvery,
 		ResumePath:      cfg.Resume,
 		StorePath:       cfg.Store,
+		Sink:            cfg.ProgressSink,
+		Metrics:         cfg.Metrics,
 	})
 }
 

@@ -64,6 +64,7 @@ const payloadSize = 3*8 + NumMeasurements*8
 type Store struct {
 	mu        sync.Mutex
 	f         *os.File
+	path      string
 	mem       map[Key]Measurements
 	recovered int
 }
@@ -78,7 +79,7 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Store{f: f, mem: map[Key]Measurements{}}
+	st := &Store{f: f, path: path, mem: map[Key]Measurements{}}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -201,6 +202,9 @@ func (s *Store) Len() int {
 	defer s.mu.Unlock()
 	return len(s.mem)
 }
+
+// Path reports the file path the store was opened at.
+func (s *Store) Path() string { return s.path }
 
 // Recovered reports how many trailing bytes Open truncated away as a
 // torn or corrupt tail (0 for a clean file).

@@ -67,6 +67,7 @@ func (an *Anneal) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.
 				Iter: it, Action: action + " [over budget]",
 				Cost: cost, Value: cur.Value, Best: best, Accepted: false,
 			})
+			ev.noteRound("anneal", &trace[len(trace)-1], 0)
 			temp *= alpha
 			continue
 		}
@@ -76,6 +77,7 @@ func (an *Anneal) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.
 				Iter: it, Action: action + " [zone cap]",
 				Cost: cur.Cost, Value: cur.Value, Best: best, Accepted: false,
 			})
+			ev.noteRound("anneal", &trace[len(trace)-1], 0)
 			temp *= alpha
 			continue
 		}
@@ -95,6 +97,7 @@ func (an *Anneal) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.
 			Iter: it, Action: action,
 			Cost: s.Cost, Value: s.Value, Best: best, Accepted: accepted,
 		})
+		ev.noteRound("anneal", &trace[len(trace)-1], 0)
 		temp *= alpha
 	}
 	return trace, nil

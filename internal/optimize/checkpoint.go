@@ -12,6 +12,7 @@ import (
 
 	"diversify/internal/diversity"
 	"diversify/internal/exploits"
+	"diversify/internal/telemetry"
 	"diversify/internal/topology"
 )
 
@@ -60,12 +61,19 @@ func (ck *checkpointer) maybeWrite(e *Evaluator) error {
 // rename, so a crash mid-write leaves the previous checkpoint intact).
 func (ck *checkpointer) write(e *Evaluator) error {
 	start := time.Now()
-	err := atomicWriteFile(ck.path, encodeCheckpoint(ck.digest, e.archive))
-	ck.spent += time.Since(start)
+	data := encodeCheckpoint(ck.digest, e.archive)
+	err := atomicWriteFile(ck.path, data)
+	took := time.Since(start)
+	ck.spent += took
 	if err != nil {
 		return fmt.Errorf("optimize: checkpoint %s: %w", ck.path, err)
 	}
 	ck.writes++
+	if e.sink != nil {
+		e.sink.Emit(telemetry.CheckpointWritten{
+			Path: ck.path, Evaluations: len(e.archive), Bytes: len(data), Duration: took,
+		})
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"diversify/internal/malware"
 	"diversify/internal/rng"
 	"diversify/internal/rotation"
+	"diversify/internal/telemetry"
 )
 
 // archived is one archived evaluation (the candidate snapshot feeds the
@@ -102,11 +103,21 @@ type Evaluator struct {
 	hits    int
 	misses  int
 	// quarantined counts candidates scored infeasible after repeated
-	// evaluation panics; repHook is the fault-injection seam the
-	// robustness tests use (called once per replication attempt, before
-	// the campaign runs).
+	// evaluation panics; retries counts panicked replication attempts
+	// that were replayed (atomic — workers count from their own
+	// goroutines); repHook is the fault-injection seam the robustness
+	// tests use (called once per replication attempt, before the
+	// campaign runs).
 	quarantined int
+	retries     atomic.Int64
 	repHook     func(c Candidate, rep int)
+
+	// sink, when non-nil, receives the telemetry event stream; started
+	// anchors the monotonic Elapsed stamps on trace steps and events.
+	// Emissions are guarded by one nil-check so a run without telemetry
+	// pays nothing on the hot path.
+	sink    telemetry.Sink
+	started time.Time
 
 	// ck, when non-nil, snapshots the archive to disk after archive
 	// appends (RunWith wires it; nil for plain runs and for the random
@@ -165,6 +176,7 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 	ev := &Evaluator{
 		p:        p,
 		ctx:      context.Background(),
+		started:  time.Now(),
 		repHook:  p.repHook,
 		seeds:    seeds,
 		nWorkers: w,
@@ -271,9 +283,21 @@ func (e *Evaluator) Score(c Candidate) (Score, error) {
 			s.Value = e.value(s)
 			e.storeHits++
 			stored = true
+			if e.sink != nil {
+				e.sink.Emit(telemetry.EvaluationBatch{
+					Fingerprint: fp, FromStore: true,
+					Evaluations: e.misses, CacheHits: e.hits, StoreHits: e.storeHits,
+				})
+			}
 		}
 	}
 	if !stored {
+		// The batch timer exists only when a sink does: the disabled path
+		// must not even read the clock.
+		var batchStart time.Time
+		if e.sink != nil {
+			batchStart = time.Now()
+		}
 		var err error
 		s, err = e.simulate(c)
 		var rp *repPanic
@@ -293,6 +317,13 @@ func (e *Evaluator) Score(c Candidate) (Score, error) {
 				} else {
 					e.storePuts++
 				}
+			}
+			if e.sink != nil {
+				e.sink.Emit(telemetry.EvaluationBatch{
+					Fingerprint: fp, Replications: e.p.Reps,
+					Duration:    time.Since(batchStart),
+					Evaluations: e.misses, CacheHits: e.hits, StoreHits: e.storeHits,
+				})
 			}
 		}
 	}
@@ -461,8 +492,16 @@ func (e *Evaluator) runRepIsolated(w, i int, c Candidate, assignFn malware.Assig
 		// it so the retry (and the next candidate) rebuilds from scratch.
 		e.camps[w] = nil
 		if attempt >= maxRepAttempts {
+			// Emitted from the worker goroutine that tripped the quarantine
+			// — sinks are concurrency-safe by contract.
+			if e.sink != nil {
+				e.sink.Emit(telemetry.WorkerQuarantined{
+					Worker: w, Replication: i, Attempts: attempt, Cause: fmt.Sprint(pan),
+				})
+			}
 			return &repPanic{rep: i, cause: pan}
 		}
+		e.retries.Add(1)
 		time.Sleep(repRetryBackoff << (attempt - 1))
 	}
 }
@@ -543,6 +582,32 @@ func (e *Evaluator) bestFeasible(budget float64) (Score, Candidate, uint64) {
 		return Score{}, Candidate{Rot: -1}, 0
 	}
 	return best.score, best.cand, best.fingerprint
+}
+
+// noteRound stamps one completed search round: the monotonic Elapsed
+// timestamp goes on the trace step unconditionally (wall time is cheap
+// and the resumed-run trace should say where the time went); the
+// RoundCompleted event fires only when a sink is attached. Strategies
+// call this right after appending the step, so `step` points into the
+// live trace.
+func (e *Evaluator) noteRound(strategy string, step *TraceStep, frontSize int) {
+	step.Elapsed = time.Since(e.started)
+	if e.sink == nil {
+		return
+	}
+	e.sink.Emit(telemetry.RoundCompleted{
+		Strategy:    strategy,
+		Round:       step.Iter,
+		Action:      step.Action,
+		Value:       step.Value,
+		Cost:        step.Cost,
+		Incumbent:   step.Best,
+		Accepted:    step.Accepted,
+		FrontSize:   frontSize,
+		Evaluations: e.misses,
+		CacheHits:   e.hits,
+		Elapsed:     step.Elapsed,
+	})
 }
 
 // newSearchRand derives an independent deterministic stream for one

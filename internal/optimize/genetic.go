@@ -112,6 +112,7 @@ func (g *Genetic) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.
 			Cost:   pop[0].s.Cost, Value: pop[0].s.Value, Best: pop[0].s.Value,
 			Accepted: true,
 		})
+		ev.noteRound("genetic", &trace[len(trace)-1], 0)
 		next := make([]Candidate, 0, popSize)
 		for i := 0; i < elite; i++ {
 			next = append(next, pop[i].c.Clone())
@@ -136,6 +137,7 @@ func (g *Genetic) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.
 		Cost:   pop[0].s.Cost, Value: pop[0].s.Value, Best: pop[0].s.Value,
 		Accepted: true,
 	})
+	ev.noteRound("genetic", &trace[len(trace)-1], 0)
 	return trace, nil
 }
 

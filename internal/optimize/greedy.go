@@ -132,6 +132,7 @@ func greedySearch(ctx context.Context, p *Problem, ev *Evaluator, maxRounds int)
 			Best:     cur.Value,
 			Accepted: true,
 		})
+		ev.noteRound("greedy", &trace[len(trace)-1], 0)
 	}
 	return trace, incumbents, nil
 }

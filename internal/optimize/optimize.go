@@ -41,6 +41,7 @@ import (
 	"diversify/internal/malware"
 	"diversify/internal/rng"
 	"diversify/internal/rotation"
+	"diversify/internal/telemetry"
 	"diversify/internal/topology"
 )
 
@@ -363,6 +364,11 @@ type TraceStep struct {
 	Value    float64 `json:"value"`
 	Best     float64 `json:"best"`
 	Accepted bool    `json:"accepted"`
+	// Elapsed is the monotonic time since the evaluator started when the
+	// step completed. Wall time is not deterministic, so it stays outside
+	// the JSON byte-identity surface — a resumed run replays pre-crash
+	// rounds at memo speed and its Elapsed stamps honestly say so.
+	Elapsed time.Duration `json:"-"`
 }
 
 // Decision is one human-readable placement decision of the winning
@@ -415,8 +421,8 @@ type Result struct {
 	BestAssignment *diversity.Assignment `json:"-"`
 	// BestRotationSpec is the winning schedule (nil = static).
 	BestRotationSpec *rotation.Spec `json:"-"`
-	Trace          []TraceStep           `json:"trace"`
-	Pareto         []ParetoPoint         `json:"pareto"`
+	Trace            []TraceStep    `json:"trace"`
+	Pareto           []ParetoPoint  `json:"pareto"`
 	// Degraded is empty for a run that completed normally; otherwise it
 	// names why the search stopped early (context cancellation or
 	// deadline). A degraded result still carries the best feasible
@@ -433,6 +439,13 @@ type Result struct {
 	// restored evaluations, wall-clock). Outside the JSON surface so the
 	// byte-identity contract between clean and resumed runs holds.
 	Stats RunStats `json:"-"`
+	// Telemetry is the run report aggregated from the progress-event
+	// stream: evaluations, cache-hit and warm-start ratios, retries and
+	// quarantines, checkpoint count, per-strategy wall time. Nil — and so
+	// absent from the JSON — unless RunOptions attached a Sink or Metrics
+	// registry; it carries wall times, so it is deliberately outside the
+	// byte-identity surface.
+	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
 }
 
 // Optimizer is one pluggable search strategy. Search explores the space
@@ -496,6 +509,19 @@ type RunOptions struct {
 	// measured. Created on first use; a torn tail from a crash is
 	// truncated away on open.
 	StorePath string
+	// Sink, when non-nil, receives the structured progress-event stream:
+	// RunStarted, one RoundCompleted per search round, EvaluationBatch
+	// per simulated candidate, CheckpointWritten, WorkerQuarantined,
+	// StoreWarmStart, RunFinished. Implementations must be safe for
+	// concurrent use (quarantine events come from worker goroutines).
+	// Telemetry observes, never steers: the Result is byte-identical
+	// (Telemetry field aside) with or without a sink.
+	Sink telemetry.Sink
+	// Metrics, when non-nil, is live-updated during the run (counters,
+	// gauges, eval-latency and round-duration histograms) so a /metrics
+	// scrape mid-search sees current state. Attaching either Sink or
+	// Metrics also populates Result.Telemetry.
+	Metrics *telemetry.Registry
 }
 
 // RunStats is the runtime bookkeeping of one RunWith call. It rides on
@@ -515,6 +541,11 @@ type RunStats struct {
 	// (zero when no store is attached).
 	StoreHits int
 	StorePuts int
+	// Retries counts replication attempts that panicked and were replayed
+	// under the same stream seed; Quarantined the candidates scored
+	// infeasible after maxRepAttempts consecutive panics.
+	Retries     int
+	Quarantined int
 	// Elapsed is the full RunWith wall-clock.
 	Elapsed time.Duration
 }
@@ -567,6 +598,23 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 		return nil, err
 	}
 	ev.ctx = ctx
+	ev.started = started
+	// The collector turns the event stream into Result.Telemetry (and
+	// keeps the metrics registry current); the caller's sink sees the
+	// same stream. With neither configured ev.sink stays nil and every
+	// hot-path emission is one nil-check.
+	var coll *telemetry.Collector
+	if opts.Sink != nil || opts.Metrics != nil {
+		coll = telemetry.NewCollector(opts.Metrics)
+		ev.sink = telemetry.Multi(opts.Sink, coll)
+	}
+	if ev.sink != nil {
+		ev.sink.Emit(telemetry.RunStarted{
+			Strategy: o.Name(), Objective: p.Objective.String(), Budget: p.Budget,
+			Options: len(p.Options), Rotations: len(p.Rotations),
+			Reps: p.Reps, Workers: ev.nWorkers,
+		})
+	}
 	var stats RunStats
 	var digest uint64
 	if opts.ResumePath != "" || opts.CheckpointPath != "" {
@@ -582,6 +630,9 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 		default:
 			stats.Resumed = true
 			stats.RestoredEvaluations = n
+			if ev.sink != nil {
+				ev.sink.Emit(telemetry.StoreWarmStart{Source: "checkpoint", Path: opts.ResumePath, Evaluations: n})
+			}
 		}
 	}
 	if opts.CheckpointPath != "" {
@@ -600,6 +651,9 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 		ev.store = store
 		ev.topoFP = p.Topo.Fingerprint()
 		ev.specFP = evalSpecDigest(&p)
+		if ev.sink != nil {
+			ev.sink.Emit(telemetry.StoreWarmStart{Source: "evalstore", Path: opts.StorePath, Evaluations: store.Len()})
+		}
 	}
 	baseline, err := ev.Score(p.baseCand())
 	if err != nil {
@@ -684,8 +738,32 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 	}
 	stats.StoreHits = ev.storeHits
 	stats.StorePuts = ev.storePuts
+	stats.Retries = int(ev.retries.Load())
+	stats.Quarantined = ev.quarantined
 	stats.Elapsed = time.Since(started)
 	res.Stats = stats
+	if ev.sink != nil {
+		// RunFinished carries the authoritative totals — the same numbers
+		// the Result reports — so any collector's summary is consistent
+		// with the returned Result by construction.
+		ev.sink.Emit(telemetry.RunFinished{
+			Strategy:     o.Name(),
+			Best:         best.Value,
+			Evaluations:  res.Evaluations,
+			CacheHits:    res.CacheHits,
+			StoreHits:    stats.StoreHits,
+			StorePuts:    stats.StorePuts,
+			Replications: res.Replications,
+			Retries:      stats.Retries,
+			Quarantined:  stats.Quarantined,
+			Checkpoints:  stats.Checkpoints,
+			Degraded:     degraded,
+			Elapsed:      stats.Elapsed,
+		})
+	}
+	if coll != nil {
+		res.Telemetry = coll.Report()
+	}
 	return res, nil
 }
 

@@ -43,6 +43,18 @@ func strategies(t *testing.T) []Optimizer {
 	return out
 }
 
+// traceString formats a trace for byte-identity comparison with the
+// Elapsed timestamps zeroed: elapsed wall time is honest telemetry, not
+// part of the determinism contract.
+func traceString(trace []TraceStep) string {
+	stripped := make([]TraceStep, len(trace))
+	copy(stripped, trace)
+	for i := range stripped {
+		stripped[i].Elapsed = 0
+	}
+	return fmt.Sprintf("%+v", stripped)
+}
+
 // Same seed and configuration must reproduce the identical trace and the
 // identical final assignment, regardless of the worker count.
 func TestDeterministicTraceAndAssignment(t *testing.T) {
@@ -57,7 +69,7 @@ func TestDeterministicTraceAndAssignment(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				trace := fmt.Sprintf("%+v", res.Trace)
+				trace := traceString(res.Trace)
 				fp := fmt.Sprintf("%016x/%+v", res.BestFingerprint, res.Best)
 				if i == 0 {
 					wantTrace, wantFP = trace, fp
@@ -275,7 +287,7 @@ func TestPortfolioDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		trace := fmt.Sprintf("%+v", res.Trace)
+		trace := traceString(res.Trace)
 		fp := fmt.Sprintf("%016x/%+v", res.BestFingerprint, res.Best)
 		if i == 0 {
 			wantTrace, wantFP = trace, fp

@@ -131,7 +131,9 @@ func (pt *Pareto) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.
 			return trace, err
 		}
 		rank, crowd := rankAndCrowd(p.Axes, pop)
-		trace = append(trace, paretoTraceStep(gen, pop, rank))
+		step, front := paretoTraceStep(gen, pop, rank)
+		trace = append(trace, step)
+		ev.noteRound("pareto", &trace[len(trace)-1], front)
 		tournament := func() pind {
 			best := r.Intn(len(pop))
 			for i := 1; i < tk; i++ {
@@ -161,13 +163,16 @@ func (pt *Pareto) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.
 		pop = selectSurvivors(p.Axes, append(pop, scored...), popSize)
 	}
 	rank, _ := rankAndCrowd(p.Axes, pop)
-	trace = append(trace, paretoTraceStep(gens, pop, rank))
+	step, front := paretoTraceStep(gens, pop, rank)
+	trace = append(trace, step)
+	ev.noteRound("pareto", &trace[len(trace)-1], front)
 	return trace, nil
 }
 
-// paretoTraceStep summarizes one generation: how wide front 0 is and the
-// best (lowest) success-axis member, which doubles as the step value.
-func paretoTraceStep(gen int, pop []pind, rank []int) TraceStep {
+// paretoTraceStep summarizes one generation — how wide front 0 is and
+// the best (lowest) success-axis member, which doubles as the step
+// value — returning the step together with the front-0 size.
+func paretoTraceStep(gen int, pop []pind, rank []int) (TraceStep, int) {
 	frontSize := 0
 	best := math.Inf(1)
 	bestCost := 0.0
@@ -186,7 +191,7 @@ func paretoTraceStep(gen int, pop []pind, rank []int) TraceStep {
 		Value:    best,
 		Best:     best,
 		Accepted: true,
-	}
+	}, frontSize
 }
 
 // pindLess is the NSGA-II crowded-comparison operator: lower rank wins,

@@ -82,5 +82,6 @@ func (pf *Portfolio) Search(ctx context.Context, p *Problem, ev *Evaluator, _ *r
 		Best:     best.Value,
 		Accepted: true,
 	})
+	ev.noteRound("portfolio", &trace[len(trace)-1], 0)
 	return trace, nil
 }

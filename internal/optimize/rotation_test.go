@@ -42,7 +42,7 @@ func TestScheduleSearchDeterministic(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got := fmt.Sprintf("%016x/%s/%+v/%+v", res.BestFingerprint, res.BestRotation, res.Best, res.Trace)
+				got := fmt.Sprintf("%016x/%s/%+v/%s", res.BestFingerprint, res.BestRotation, res.Best, traceString(res.Trace))
 				if i == 0 {
 					want = got
 					continue

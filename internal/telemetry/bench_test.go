@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCollectorEmitRound measures the enabled-path cost of the
+// hottest event (one RoundCompleted through collector + registry) — the
+// price a run pays per round when telemetry is attached.
+func BenchmarkCollectorEmitRound(b *testing.B) {
+	c := NewCollector(NewRegistry())
+	ev := RoundCompleted{Strategy: "greedy", Round: 1, Incumbent: 0.4, Elapsed: time.Millisecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Emit(ev)
+	}
+}
+
+// BenchmarkCollectorEmitBatch measures the per-evaluation event cost
+// (histogram observe + counters).
+func BenchmarkCollectorEmitBatch(b *testing.B) {
+	c := NewCollector(NewRegistry())
+	ev := EvaluationBatch{Duration: 5 * time.Millisecond, Replications: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Emit(ev)
+	}
+}
+
+// BenchmarkRecorderEmit is the recording sink the determinism tests
+// attach.
+func BenchmarkRecorderEmit(b *testing.B) {
+	var r Recorder
+	ev := RoundCompleted{Strategy: "greedy"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(ev)
+	}
+}
+
+// BenchmarkHistogramObserve is the lock-free histogram update alone.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(EvalLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
