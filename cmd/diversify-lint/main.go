@@ -1,0 +1,67 @@
+// Command diversify-lint runs the repo's custom static-analysis suite
+// (internal/lint) over Go packages and reports violations of the
+// runtime's determinism, context-propagation, RNG-gating, durability
+// and telemetry invariants.
+//
+// Usage:
+//
+//	diversify-lint [-C dir] [-list] [packages ...]
+//
+// Packages default to ./... relative to -C (default: the current
+// directory). Exit status is 0 when every check passes, 1 when there
+// are findings, 2 on driver errors (unparsable code, go list failure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"diversify/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diversify-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module directory to analyze from")
+	list := fs.Bool("list", false, "list the analyzer catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: diversify-lint [-C dir] [-list] [packages ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := lint.Check(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "diversify-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

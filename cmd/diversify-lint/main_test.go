@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+}
+
+func TestListCatalog(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"detsource", "ctxpropagate", "rnggate", "durableerr", "telemetryguard"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("catalog missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	requireGo(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("run on repo = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestSeededViolation is the acceptance check from the other side: a
+// time.Now() planted in internal/malware of a scratch module must make
+// the linter exit non-zero with a file:line diagnostic.
+func TestSeededViolation(t *testing.T) {
+	requireGo(t)
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module diversify\n\ngo 1.24\n")
+	write("internal/malware/bad.go", `package malware
+
+import "time"
+
+func Clock() time.Time {
+	return time.Now()
+}
+`)
+	var out, errOut strings.Builder
+	code := run([]string{"-C", dir, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run on seeded violation = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "bad.go:6") || !strings.Contains(got, "detsource") {
+		t.Errorf("diagnostic missing file:line or analyzer name:\n%s", got)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}

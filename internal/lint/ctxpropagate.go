@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxScoped is the set of packages where context discipline is
+// load-bearing: PR 6 threaded cancellation through the optimization
+// runtime and the durable store so an interrupted run can be salvaged,
+// and that only works if every blocking call below RunContext sees the
+// caller's context.
+var ctxScoped = map[string]bool{
+	"diversify/internal/optimize":  true,
+	"diversify/internal/evalstore": true,
+}
+
+// CtxPropagate enforces the PR-6 context invariant: functions that
+// receive a context.Context must hand it (or a context derived from it)
+// to every context-accepting callee, and fresh root contexts
+// (context.Background/TODO) are forbidden outside cmd/ and tests.
+var CtxPropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Doc: "functions receiving a context.Context must propagate it to every " +
+		"context-accepting callee; context.Background/TODO are forbidden here",
+	Directive: "allow-context",
+	Applies:   func(pkgPath string) bool { return ctxScoped[pkgPath] },
+	Run:       runCtxPropagate,
+}
+
+func runCtxPropagate(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn != nil && (isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO")) {
+					pass.Reportf(n.Pos(), "context.%s creates a fresh root context: accept a context from the caller instead (only cmd/ and tests may mint one)", fn.Name())
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPropagation(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkPropagation verifies that a function receiving a context passes
+// a context derived from it to every context-accepting call in its
+// body. "Derived" is tracked syntactically but transitively: the
+// parameters themselves, plus any local assigned from an expression
+// that mentions a derived context (covers ctx2, cancel := context.
+// WithTimeout(ctx, d) chains and closures capturing ctx).
+func checkPropagation(pass *Pass, fn *ast.FuncDecl) {
+	derived := map[types.Object]bool{}
+	// Seed with every context-typed parameter in the declaration and in
+	// any nested function literal.
+	ast.Inspect(fn, func(n ast.Node) bool {
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			return true
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					derived[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(derived) == 0 {
+		return
+	}
+
+	mentionsDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && derived[pass.Info.ObjectOf(id)] {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Propagate derivation through local assignments until stable.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			fromDerived := false
+			for _, rhs := range asg.Rhs {
+				if mentionsDerived(rhs) {
+					fromDerived = true
+					break
+				}
+			}
+			if !fromDerived {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj != nil && isContextType(obj.Type()) && !derived[obj] {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSignature(pass.Info, call)
+		if sig == nil || !sigAcceptsContext(sig) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsDerived(arg) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "%s receives a context.Context but calls %s without passing it: cancellation stops propagating here", fn.Name.Name, types.ExprString(call.Fun))
+		return true
+	})
+}
+
+// sigAcceptsContext reports whether any parameter of sig is a
+// context.Context.
+func sigAcceptsContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

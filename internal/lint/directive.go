@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix opens every lint directive comment. The syntax is
+//
+//	//diversify:<kind> <reason>
+//
+// with no space after the slashes (the Go convention for machine
+// directives, so gofmt leaves them alone).
+const directivePrefix = "//diversify:"
+
+// knownDirectives maps directive kinds to the analyzer they suppress.
+// Anything else after "//diversify:" is an unknown-directive finding.
+var knownDirectives = map[string]string{
+	"allow-nondet":  "detsource",
+	"allow-context": "ctxpropagate",
+	"allow-discard": "durableerr",
+}
+
+// directive is one parsed allow directive.
+type directive struct {
+	kind   string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// directiveIndex locates directives by (file, line) for suppression and
+// remembers which were consumed, so unused ones can be reported.
+type directiveIndex struct {
+	byLine map[string]map[int]*directive
+	all    []*directive
+}
+
+// collectDirectives parses every //diversify: comment in the package,
+// reporting unknown kinds and missing reasons as diagnostics under the
+// pseudo-analyzer "directive".
+func collectDirectives(fset *token.FileSet, files []*ast.File, out *[]Diagnostic) *directiveIndex {
+	ix := &directiveIndex{byLine: map[string]map[int]*directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				kind, reason, _ := strings.Cut(strings.TrimPrefix(c.Text, directivePrefix), " ")
+				reason = strings.TrimSpace(reason)
+				if _, ok := knownDirectives[kind]; !ok {
+					*out = append(*out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "unknown directive //diversify:" + kind + " (known: allow-nondet, allow-context, allow-discard)",
+					})
+					continue
+				}
+				if reason == "" {
+					*out = append(*out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "//diversify:" + kind + " needs a reason: every audited exception must say why",
+					})
+				}
+				d := &directive{kind: kind, reason: reason, pos: pos}
+				lines := ix.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]*directive{}
+					ix.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+				ix.all = append(ix.all, d)
+			}
+		}
+	}
+	return ix
+}
+
+// suppress reports whether a directive of the given kind covers the
+// position: on the same line (trailing comment) or the line directly
+// above (comment line). A consumed directive is marked used.
+func (ix *directiveIndex) suppress(kind string, pos token.Position) bool {
+	lines := ix.byLine[pos.Filename]
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		if d := lines[l]; d != nil && d.kind == kind {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnused flags every directive that suppressed nothing — the
+// mechanism that keeps the allowlist from rotting when the code under a
+// directive changes or moves.
+func (ix *directiveIndex) reportUnused(out *[]Diagnostic) {
+	for _, d := range ix.all {
+		if !d.used {
+			*out = append(*out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message:  "unused //diversify:" + d.kind + " directive: it suppresses no finding, delete it",
+			})
+		}
+	}
+}

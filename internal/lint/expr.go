@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// refPath resolves an expression to a stable reference path: the root
+// identifier's object plus the chain of selected field names
+// ("sink", "cfg.sink", ...). Two expressions denote the same storage
+// location — for the nil-guard and sort-tracking heuristics — when both
+// root object and path match. ok is false for anything more dynamic
+// (calls, index expressions, literals).
+func refPath(info *types.Info, e ast.Expr) (root types.Object, path string, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, e.Name, true
+	case *ast.SelectorExpr:
+		r, p, ok := refPath(info, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return r, p + "." + e.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+// sameRef reports whether e denotes the (root, path) reference.
+func sameRef(info *types.Info, e ast.Expr, root types.Object, path string) bool {
+	r, p, ok := refPath(info, e)
+	return ok && r == root && p == path
+}
+
+// containsRef reports whether any sub-expression of e denotes the
+// reference — how a sort call like slices.SortFunc(out, cmp) or
+// sort.Sort(byCost(out)) is matched to the slice it orders.
+func containsRef(info *types.Info, e ast.Expr, root types.Object, path string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok && sameRef(info, expr, root, path) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	return obj != nil && obj == types.Universe.Lookup("nil")
+}
+
+// calleeFunc resolves the called function or method object, nil for
+// func values, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(fun.Sel)
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// calleeSignature returns the called signature (nil for conversions and
+// builtins). It covers func values too, which calleeFunc cannot.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Signature().Recv() == nil
+}
+
+// namedFrom reports whether t (or its pointer element) is the named
+// type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// returnsErrorLast reports whether the signature's final result is the
+// built-in error type.
+func returnsErrorLast(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

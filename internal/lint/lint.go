@@ -1,0 +1,138 @@
+// Package lint is the repo's custom static-analysis suite: five
+// analyzers that machine-check the load-bearing guarantees every PR so
+// far has only enforced dynamically — common-random-number determinism,
+// context propagation, the CRN seeding gate, durable-write error
+// handling and the zero-cost-when-disabled telemetry contract.
+//
+// The driver is stdlib-only (go/parser + go/types over `go list -export`
+// compiled export data — no module dependencies, consistent with the
+// repo's zero-dep posture). Analyzers are structured as self-contained
+// (Name, Doc, Applies, Run) values over a Pass, so they could later be
+// ported to golang.org/x/tools/go/analysis if the repo ever takes that
+// dependency.
+//
+// Audited exceptions are declared in source with directives:
+//
+//	//diversify:allow-nondet <reason>   suppresses detsource
+//	//diversify:allow-context <reason>  suppresses ctxpropagate
+//	//diversify:allow-discard <reason>  suppresses durableerr
+//
+// A directive suppresses findings on its own line or the line directly
+// below it. Unknown directive kinds, directives without a reason and
+// directives that suppress nothing are themselves diagnostics, so the
+// allowlist can never rot.
+package lint
+
+import (
+	"cmp"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one repo-specific check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer (Name/Doc/Run over a Pass) so
+// a future port is mechanical.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Directive names the allow-directive kind ("allow-nondet", ...)
+	// that suppresses this analyzer's findings; "" means findings cannot
+	// be suppressed.
+	Directive string
+	// Applies scopes the analyzer to import paths (nil = every loaded
+	// package). Test files never reach an analyzer: the loader only
+	// parses non-test GoFiles, which is how "tests are exempt" holds for
+	// every rule at once.
+	Applies func(pkgPath string) bool
+	Run     func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path is the package's import path — fixtures type-check under a
+	// virtual path so scoping rules stay testable.
+	Path string
+
+	analyzer *Analyzer
+	dirs     *directiveIndex
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding unless an allow directive of the analyzer's
+// kind covers the position (same line, or the line directly above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.analyzer.Directive != "" && p.dirs.suppress(p.analyzer.Directive, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetSource, CtxPropagate, RNGGate, DurableErr, TelemetryGuard}
+}
+
+// Check runs the analyzers over the loaded packages and returns every
+// finding (including directive hygiene: unknown kinds, missing reasons,
+// unused allows), sorted by position.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg.Fset, pkg.Files, &out)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				analyzer: a,
+				dirs:     dirs,
+				out:      &out,
+			})
+		}
+		dirs.reportUnused(&out)
+	}
+	slices.SortFunc(out, func(a, b Diagnostic) int {
+		if c := cmp.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Pos.Column, b.Pos.Column); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Analyzer, b.Analyzer); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Message, b.Message)
+	})
+	return out
+}

@@ -1,0 +1,36 @@
+package lint
+
+import "strconv"
+
+// RNGGate bans math/rand and crypto/rand imports everywhere but
+// internal/rng. All randomness must flow through the seeded per-purpose
+// streams (rng.Stream), because common-random-number pairing only works
+// when every draw is attributable to a named, seeded stream — one
+// stray rand.Float64() silently decouples the paired comparisons the
+// paper's variance reduction depends on. There is deliberately no
+// allow directive: an exception would be a new randomness source, which
+// is an API discussion, not a line-level audit.
+var RNGGate = &Analyzer{
+	Name:    "rnggate",
+	Doc:     "math/rand and crypto/rand imports are forbidden outside internal/rng",
+	Applies: func(pkgPath string) bool { return pkgPath != "diversify/internal/rng" },
+	Run:     runRNGGate,
+}
+
+var bannedRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runRNGGate(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !bannedRandImports[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import of %s outside internal/rng bypasses the seeded stream API (CRN discipline): draw from an rng.Stream instead", path)
+		}
+	}
+}

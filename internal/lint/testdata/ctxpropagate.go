@@ -1,0 +1,44 @@
+// Fixture for the ctxpropagate analyzer, type-checked under the
+// virtual path diversify/internal/optimize (context-scoped).
+package optimize
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func root() {
+	ctx := context.Background() // want "context.Background creates a fresh root context"
+	_ = ctx
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO creates a fresh root context"
+}
+
+func allowedRoot() context.Context {
+	//diversify:allow-context fixture: audited root context with a reason
+	return context.Background()
+}
+
+func direct(ctx context.Context) error {
+	return work(ctx)
+}
+
+func derived(ctx context.Context) error {
+	c2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(c2)
+}
+
+func viaClosure(ctx context.Context) func() error {
+	return func() error { return work(ctx) }
+}
+
+func dropped(ctx context.Context) error {
+	_ = ctx
+	return work(nil) // want "calls work without passing it"
+}
+
+func noContext() error {
+	return work(nil)
+}

@@ -1,0 +1,18 @@
+// Fixture proving detsource scoping: the same nondeterminism sources
+// under a non-critical virtual path (diversify/internal/topology)
+// produce no findings.
+package topology
+
+import "time"
+
+func clock() time.Time {
+	return time.Now()
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

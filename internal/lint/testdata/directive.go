@@ -1,0 +1,18 @@
+// Fixture for directive hygiene: unknown kinds, missing reasons and
+// unused directives are all findings (asserted explicitly in
+// TestDirectiveHygiene — `want` comments can't ride on directive lines
+// because the directive parser would swallow them as the reason).
+package indicators
+
+import "time"
+
+//diversify:allow-teleport nobody audited this kind
+var x = 1
+
+func clock() time.Time {
+	//diversify:allow-nondet
+	return time.Now()
+}
+
+//diversify:allow-discard a fine reason, but nothing here discards anything
+func nothing() {}

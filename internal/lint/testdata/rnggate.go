@@ -1,0 +1,11 @@
+// Fixture for the rnggate analyzer, type-checked under the virtual
+// path diversify/internal/des (outside internal/rng).
+package des
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand outside internal/rng"
+	"math/rand"         // want "import of math/rand outside internal/rng"
+)
+
+var _ = rand.Int
+var _ = crand.Read

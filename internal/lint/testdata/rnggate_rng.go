@@ -1,0 +1,7 @@
+// Fixture proving rnggate scoping: internal/rng itself may import the
+// stdlib RNGs (it is the one place allowed to wrap them).
+package rng
+
+import "math/rand"
+
+var _ = rand.Int

@@ -1,0 +1,46 @@
+package optimize
+
+import (
+	"testing"
+	"time"
+)
+
+// Freezing the injectable clock must zero every elapsed-time stamp and
+// change nothing else: wall time is observability, never state. This is
+// the dynamic counterpart of the detsource lint rule — the lint proves
+// wallClock is the only time source in the package, and this test
+// proves the rest of the run is clock-independent.
+func TestFrozenClockOnlyAffectsElapsed(t *testing.T) {
+	o, err := ByName("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Run(testProblem(7), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := wallClock
+	wallClock = func() time.Time { return time.Unix(1700000000, 0) }
+	t.Cleanup(func() { wallClock = old })
+
+	frozen, err := Run(testProblem(7), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.Stats.Elapsed != 0 {
+		t.Errorf("Stats.Elapsed under a frozen clock = %v, want 0", frozen.Stats.Elapsed)
+	}
+	for i, step := range frozen.Trace {
+		if step.Elapsed != 0 {
+			t.Errorf("Trace[%d].Elapsed under a frozen clock = %v, want 0", i, step.Elapsed)
+		}
+	}
+	if got, want := traceString(frozen.Trace), traceString(live.Trace); got != want {
+		t.Errorf("trace changed under a frozen clock:\ngot  %s\nwant %s", got, want)
+	}
+	if frozen.Best != live.Best || frozen.BestFingerprint != live.BestFingerprint {
+		t.Errorf("result changed under a frozen clock: best %+v fp %d, want best %+v fp %d",
+			frozen.Best, frozen.BestFingerprint, live.Best, live.BestFingerprint)
+	}
+}

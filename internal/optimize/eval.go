@@ -175,8 +175,8 @@ func newEvaluator(p *Problem) (*Evaluator, error) {
 	}
 	ev := &Evaluator{
 		p:        p,
-		ctx:      context.Background(),
-		started:  time.Now(),
+		ctx:      context.Background(), //diversify:allow-context placeholder until RunContext installs the caller's context; bare Score calls never block on it
+		started:  wallClock(),
 		repHook:  p.repHook,
 		seeds:    seeds,
 		nWorkers: w,
@@ -296,7 +296,7 @@ func (e *Evaluator) Score(c Candidate) (Score, error) {
 		// must not even read the clock.
 		var batchStart time.Time
 		if e.sink != nil {
-			batchStart = time.Now()
+			batchStart = wallClock()
 		}
 		var err error
 		s, err = e.simulate(c)
@@ -321,7 +321,7 @@ func (e *Evaluator) Score(c Candidate) (Score, error) {
 			if e.sink != nil {
 				e.sink.Emit(telemetry.EvaluationBatch{
 					Fingerprint: fp, Replications: e.p.Reps,
-					Duration:    time.Since(batchStart),
+					Duration:    sinceWall(batchStart),
 					Evaluations: e.misses, CacheHits: e.hits, StoreHits: e.storeHits,
 				})
 			}
@@ -591,7 +591,7 @@ func (e *Evaluator) bestFeasible(budget float64) (Score, Candidate, uint64) {
 // call this right after appending the step, so `step` points into the
 // live trace.
 func (e *Evaluator) noteRound(strategy string, step *TraceStep, frontSize int) {
-	step.Elapsed = time.Since(e.started)
+	step.Elapsed = sinceWall(e.started)
 	if e.sink == nil {
 		return
 	}

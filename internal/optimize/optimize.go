@@ -554,6 +554,7 @@ type RunStats struct {
 // best-candidate extraction, Pareto front and the random-fill comparison
 // baseline. It is RunContext under a background context.
 func Run(p Problem, o Optimizer) (*Result, error) {
+	//diversify:allow-context Run is the documented no-cancellation entry point; cancellable callers use RunContext
 	return RunContext(context.Background(), p, o)
 }
 
@@ -585,7 +586,7 @@ func RunContext(ctx context.Context, p Problem, o Optimizer) (*Result, error) {
 // regardless of where the original died or how many workers either run
 // used.
 func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Result, error) {
-	started := time.Now()
+	started := wallClock()
 	p.normalize()
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -740,7 +741,7 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 	stats.StorePuts = ev.storePuts
 	stats.Retries = int(ev.retries.Load())
 	stats.Quarantined = ev.quarantined
-	stats.Elapsed = time.Since(started)
+	stats.Elapsed = sinceWall(started)
 	res.Stats = stats
 	if ev.sink != nil {
 		// RunFinished carries the authoritative totals — the same numbers
