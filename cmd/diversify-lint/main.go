@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	diversify-lint [-C dir] [-list] [packages ...]
+//	diversify-lint [-C dir] [-list] [-write-baseline] [packages ...]
 //
 // Packages default to ./... relative to -C (default: the current
 // directory). Exit status is 0 when every check passes, 1 when there
 // are findings, 2 on driver errors (unparsable code, go list failure).
+//
+// -write-baseline regenerates the hot-path escape baseline
+// (internal/lint/testdata/escape_baseline.txt) from the compiler's
+// current escape analysis instead of checking; run it after a reviewed,
+// intentional allocation change in a //diversify:hotpath function.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"diversify/internal/lint"
 )
@@ -30,8 +37,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "module directory to analyze from")
 	list := fs.Bool("list", false, "list the analyzer catalog and exit")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the hot-path escape baseline and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: diversify-lint [-C dir] [-list] [packages ...]")
+		fmt.Fprintln(stderr, "usage: diversify-lint [-C dir] [-list] [-write-baseline] [packages ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +62,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if *writeBaseline {
+		lines, err := lint.EscapeBaseline(lint.BuildProgram(pkgs))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		path := filepath.Join(*dir, lint.EscapeBaselineFile)
+		content := "# Accepted heap escapes in //diversify:hotpath functions.\n" +
+			"# One line per escape: pkg\\tfunction\\tcompiler message (a multiset).\n" +
+			"# Regenerate with: go run ./cmd/diversify-lint -write-baseline\n"
+		if len(lines) > 0 {
+			content += strings.Join(lines, "\n") + "\n"
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d escape(s))\n", path, len(lines))
+		return 0
 	}
 	diags := lint.Check(pkgs, analyzers)
 	for _, d := range diags {

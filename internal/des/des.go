@@ -167,6 +167,8 @@ type eventArena struct {
 
 // next hands out the next slot, growing by one block when the cursor
 // runs past every existing block.
+//
+//diversify:hotpath steady-state Reset+run cycles must not allocate; only block growth may
 func (a *eventArena) next() *Event {
 	if a.block == len(a.blocks) {
 		a.blocks = append(a.blocks, make([]Event, eventArenaSize))
@@ -184,6 +186,8 @@ func (a *eventArena) next() *Event {
 func (a *eventArena) rewind() { a.block, a.slot = 0, 0 }
 
 // newEvent hands out the next arena slot.
+//
+//diversify:hotpath per-event allocation would dominate the Monte-Carlo profile
 func (s *Sim) newEvent() *Event {
 	return s.arena.next()
 }

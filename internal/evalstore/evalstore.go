@@ -62,11 +62,12 @@ const payloadSize = 3*8 + NumMeasurements*8
 
 // Store is an open durable evaluation store. Safe for concurrent use.
 type Store struct {
-	mu        sync.Mutex
-	f         *os.File
+	mu sync.Mutex
+	// path is set once in Open and immutable after, so it needs no lock.
 	path      string
-	mem       map[Key]Measurements
-	recovered int
+	f         *os.File             //diversify:guardedby mu
+	mem       map[Key]Measurements //diversify:guardedby mu
+	recovered int                  //diversify:guardedby mu
 }
 
 // Open opens (or creates) the store at path, replaying every intact

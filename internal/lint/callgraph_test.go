@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// loadFixtureProgram parses one testdata file as a package under the
+// virtual path and builds the interprocedural program over it.
+func loadFixtureProgram(t *testing.T, pkgPath, file string) (*Package, *Program) {
+	t.Helper()
+	fset, imp := fixtureImporter(t)
+	pkg, err := ParsePackage(fset, imp, pkgPath, filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, BuildProgram([]*Package{pkg})
+}
+
+func findFunc(t *testing.T, prog *Program, display string) *FuncInfo {
+	t.Helper()
+	for _, fi := range prog.Funcs {
+		if funcDisplayName(fi.Fn) == display {
+			return fi
+		}
+	}
+	t.Fatalf("no function %q in program", display)
+	return nil
+}
+
+// edgeStrings renders a node's outgoing edges as "kind:callee" for
+// order-insensitive assertions.
+func edgeStrings(fi *FuncInfo) []string {
+	var out []string
+	for _, e := range fi.Calls {
+		out = append(out, e.Kind+":"+funcDisplayName(e.Callee))
+	}
+	return out
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	_, prog := loadFixtureProgram(t, "diversify/internal/topology", "callgraph.go")
+	got := edgeStrings(findFunc(t, prog, "topology.dispatch"))
+	for _, want := range []string{"iface:topology.(workerA).work", "iface:topology.(workerB).work"} {
+		if !slices.Contains(got, want) {
+			t.Errorf("dispatch edges = %v, missing %q", got, want)
+		}
+	}
+}
+
+func TestCallGraphFunctionValue(t *testing.T) {
+	_, prog := loadFixtureProgram(t, "diversify/internal/topology", "callgraph.go")
+	got := edgeStrings(findFunc(t, prog, "topology.takesValue"))
+	if want := "value:topology.helperLeaf"; !slices.Contains(got, want) {
+		t.Errorf("takesValue edges = %v, missing %q", got, want)
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	_, prog := loadFixtureProgram(t, "diversify/internal/topology", "callgraph.go")
+	got := edgeStrings(findFunc(t, prog, "topology.methodValue"))
+	if want := "value:topology.(workerA).work"; !slices.Contains(got, want) {
+		t.Errorf("methodValue edges = %v, missing %q", got, want)
+	}
+}
+
+// markerLine finds the 1-based line of a marker comment in a testdata
+// file, so injected compiler diagnostics land on real positions.
+func markerLine(t *testing.T, file, tag string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, tag) {
+			return i + 1
+		}
+	}
+	t.Fatalf("no %q marker in %s", tag, file)
+	return 0
+}
+
+// injectEscapes stubs the compiler for the duration of the test.
+func injectEscapes(t *testing.T, diags []escapeDiag) {
+	t.Helper()
+	escapeDiagnosticsFn = func(dir string, pkgs []string) ([]escapeDiag, error) {
+		return diags, nil
+	}
+	t.Cleanup(func() { escapeDiagnosticsFn = nil })
+}
+
+func TestHotAllocNewEscape(t *testing.T) {
+	fset, imp := fixtureImporter(t)
+	name := filepath.Join("testdata", "hotalloc.go")
+	pkg, err := ParsePackage(fset, imp, "diversify/internal/des", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := markerLine(t, "hotalloc.go", "HOT-ALLOC")
+	cold := markerLine(t, "hotalloc.go", "COLD-ALLOC")
+	injectEscapes(t, []escapeDiag{
+		{pos: token.Position{Filename: name, Line: hot, Column: 7}, msg: "new(int) escapes to heap"},
+		{pos: token.Position{Filename: name, Line: cold, Column: 7}, msg: "new(int) escapes to heap"},
+	})
+	diags := Check([]*Package{pkg}, []*Analyzer{HotAlloc})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want 1 (cold's escape is not gated)", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pos.Line != hot || !strings.Contains(d.Message, "new heap escape in hotpath function des.hot") {
+		t.Errorf("diagnostic = %s, want new-escape in des.hot at line %d", d, hot)
+	}
+}
+
+func TestHotAllocBaselineAndStale(t *testing.T) {
+	fset, imp := fixtureImporter(t)
+	name := filepath.Join("testdata", "hotalloc.go")
+	pkg, err := ParsePackage(fset, imp, "diversify/internal/des", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Dir = t.TempDir()
+	baseline := filepath.Join(pkg.Dir, EscapeBaselineFile)
+	if err := os.MkdirAll(filepath.Dir(baseline), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := "# header\n" +
+		"diversify/internal/des\tdes.hot\tnew(int) escapes to heap\n" +
+		"diversify/internal/des\tdes.hot\tgone([]byte) escapes to heap\n"
+	if err := os.WriteFile(baseline, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hot := markerLine(t, "hotalloc.go", "HOT-ALLOC")
+	injectEscapes(t, []escapeDiag{
+		{pos: token.Position{Filename: name, Line: hot, Column: 7}, msg: "new(int) escapes to heap"},
+	})
+	diags := Check([]*Package{pkg}, []*Analyzer{HotAlloc})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want 1 (the baselined escape is accepted, the gone one is stale)", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "stale escape baseline entry") || d.Pos.Filename != EscapeBaselineFile || d.Pos.Line != 3 {
+		t.Errorf("diagnostic = %s, want stale-entry at %s:3", d, EscapeBaselineFile)
+	}
+}
+
+// TestEscapeBaselineRoundTrip: what EscapeBaseline emits is exactly
+// what a subsequent check accepts.
+func TestEscapeBaselineRoundTrip(t *testing.T) {
+	fset, imp := fixtureImporter(t)
+	name := filepath.Join("testdata", "hotalloc.go")
+	pkg, err := ParsePackage(fset, imp, "diversify/internal/des", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Dir = t.TempDir()
+	hot := markerLine(t, "hotalloc.go", "HOT-ALLOC")
+	injectEscapes(t, []escapeDiag{
+		{pos: token.Position{Filename: name, Line: hot, Column: 7}, msg: "new(int) escapes to heap"},
+	})
+	lines, err := EscapeBaseline(BuildProgram([]*Package{pkg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"diversify/internal/des\tdes.hot\tnew(int) escapes to heap"}
+	if !slices.Equal(lines, want) {
+		t.Fatalf("EscapeBaseline = %q, want %q", lines, want)
+	}
+	baseline := filepath.Join(pkg.Dir, EscapeBaselineFile)
+	if err := os.MkdirAll(filepath.Dir(baseline), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check([]*Package{pkg}, []*Analyzer{HotAlloc}); len(diags) != 0 {
+		t.Errorf("check against freshly written baseline not clean: %v", diags)
+	}
+}

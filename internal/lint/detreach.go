@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/types"
+	"slices"
+	"strings"
+)
+
+// DetReach is the transitive determinism certification: starting from
+// functions annotated //diversify:det-root (the campaign runner, every
+// optimize strategy search, the rotation policy tick), it walks the
+// CHA call graph and reports every reachable nondeterminism source —
+// wall-clock reads, math/rand globals, unjoined go statements,
+// order-unstable map iteration feeding output — with the full call
+// chain from the root. detsource certifies the determinism-critical
+// packages one function at a time; detreach certifies that nothing the
+// certified entry points can actually reach, in ANY package, regressed
+// one call deep. Audited leaves opt out with //diversify:det-pure (a
+// reasoned marker on the function or func var); sites audited with
+// //diversify:allow-nondet are not sources for either analyzer.
+var DetReach = &Analyzer{
+	Name: "detreach",
+	Doc: "no wall-clock read, global RNG, unjoined goroutine or unstable " +
+		"map-order output may be reachable from a //diversify:det-root function",
+	RunProgram: runDetReach,
+}
+
+func runDetReach(pp *ProgramPass) {
+	prog := pp.Prog
+
+	// Roots in deterministic order: by file position of the declaration.
+	var roots []*FuncInfo
+	for _, fi := range prog.Funcs {
+		if fi.DetRoot {
+			roots = append(roots, fi)
+		}
+	}
+	slices.SortFunc(roots, func(a, b *FuncInfo) int {
+		pa, pb := a.Pkg.Fset.Position(a.Decl.Pos()), b.Pkg.Fset.Position(b.Decl.Pos())
+		if pa.Filename != pb.Filename {
+			return strings.Compare(pa.Filename, pb.Filename)
+		}
+		return pa.Line - pb.Line
+	})
+
+	// One report per source site: the first root (in root order) that
+	// reaches it wins, and BFS gives it the shortest chain from that
+	// root — the most readable repro of "this entry point can hit this
+	// clock read".
+	reported := map[Source]bool{}
+	for _, root := range roots {
+		if root.DetPure {
+			continue // contradictory annotation pair; hygiene reports it elsewhere
+		}
+		parent := map[*types.Func]*types.Func{root.Fn: nil}
+		queue := []*FuncInfo{root}
+		for len(queue) > 0 {
+			fi := queue[0]
+			queue = queue[1:]
+			for _, src := range fi.Sources {
+				if reported[src] {
+					continue
+				}
+				reported[src] = true
+				pp.Reportf(src.Pos, "%s reachable from det-root %s via %s",
+					src.Msg, funcDisplayName(root.Fn), chainString(parent, fi.Fn))
+			}
+			for _, e := range fi.Calls {
+				if _, seen := parent[e.Callee]; seen {
+					continue
+				}
+				callee := prog.Funcs[e.Callee]
+				if callee == nil {
+					continue
+				}
+				parent[e.Callee] = fi.Fn
+				if callee.DetPure {
+					continue // audited leaf: do not descend
+				}
+				queue = append(queue, callee)
+			}
+		}
+	}
+}
+
+// chainString renders the root→…→offender call chain from the BFS
+// parent links.
+func chainString(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var chain []string
+	for f := fn; f != nil; f = parent[f] {
+		chain = append(chain, funcDisplayName(f))
+		if parent[f] == nil {
+			break
+		}
+	}
+	slices.Reverse(chain)
+	return strings.Join(chain, " -> ")
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -33,10 +34,38 @@ var DetSource = &Analyzer{
 	Run:       runDetSource,
 }
 
+// wallClockFuncs is the denylist of package time functions that read or
+// arm the wall clock. time.Since was the only derived read caught at
+// first; the step-9 sweep added the timer/ticker constructors, whose
+// channels fire on wall time and so leak scheduling nondeterminism into
+// anything that selects on them. time.Sleep is deliberately absent: it
+// delays without producing a value, so it cannot change seeded outputs
+// (the panic-retry backoff in optimize depends on that distinction).
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"NewTimer":  true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+}
+
+// isWallClockFunc reports whether obj is a denylisted package-level
+// time function.
+func isWallClockFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()]
+}
+
 func runDetSource(pass *Pass) {
 	for id, obj := range pass.Info.Uses {
 		switch {
-		case isPkgFunc(obj, "time", "Now"), isPkgFunc(obj, "time", "Since"), isPkgFunc(obj, "time", "Until"):
+		case isWallClockFunc(obj):
 			pass.Reportf(id.Pos(), "wall-clock read time.%s in determinism-critical package %s: route it through an injectable clock", obj.Name(), pass.Path)
 		case isRandGlobal(obj):
 			pass.Reportf(id.Pos(), "global RNG %s.%s in determinism-critical package %s: use the seeded streams in internal/rng", obj.Pkg().Path(), obj.Name(), pass.Path)
@@ -53,7 +82,7 @@ func runDetSource(pass *Pass) {
 				}
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					checkMapRangeAppends(pass, n.Body)
+					checkMapRangeAppends(pass.Info, n.Body, pass.Reportf)
 				}
 			}
 			return true
@@ -83,13 +112,16 @@ func isRandGlobal(obj types.Object) bool {
 // sort restores a canonical order (the Entries()-then-SortFunc pattern
 // in internal/diversity is the blessed shape). Index writes and scalar
 // accumulation inside map ranges are order-insensitive and not flagged.
-func checkMapRangeAppends(pass *Pass, body *ast.BlockStmt) {
+// Findings go through report so both detsource (per-package) and the
+// call-graph source collector (whole-program) share one definition of
+// "order-unstable map iteration feeding output".
+func checkMapRangeAppends(info *types.Info, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
 		}
-		tv, ok := pass.Info.Types[rng.X]
+		tv, ok := info.Types[rng.X]
 		if !ok {
 			return true
 		}
@@ -98,7 +130,7 @@ func checkMapRangeAppends(pass *Pass, body *ast.BlockStmt) {
 		}
 		ast.Inspect(rng.Body, func(inner ast.Node) bool {
 			if ret, ok := inner.(*ast.ReturnStmt); ok {
-				checkMapRangeReturn(pass, rng, ret)
+				checkMapRangeReturn(info, rng, ret, report)
 				return true
 			}
 			asg, ok := inner.(*ast.AssignStmt)
@@ -109,10 +141,10 @@ func checkMapRangeAppends(pass *Pass, body *ast.BlockStmt) {
 			if !ok {
 				return true
 			}
-			if !isAppendCall(pass.Info, call) {
+			if !isAppendCall(info, call) {
 				return true
 			}
-			root, path, ok := refPath(pass.Info, asg.Lhs[0])
+			root, path, ok := refPath(info, asg.Lhs[0])
 			if !ok {
 				return true
 			}
@@ -120,10 +152,10 @@ func checkMapRangeAppends(pass *Pass, body *ast.BlockStmt) {
 			if root.Pos() >= rng.Pos() && root.Pos() < rng.End() {
 				return true
 			}
-			if sortedAfter(pass, body, rng, root, path) {
+			if sortedAfter(info, body, rng, root, path) {
 				return true
 			}
-			pass.Reportf(asg.Pos(), "append to %s inside map iteration without a later sort: map order is randomized per run", path)
+			report(asg.Pos(), "append to %s inside map iteration without a later sort: map order is randomized per run", path)
 			return true
 		})
 		return true
@@ -145,11 +177,11 @@ func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
 // returned slice differs run to run. Appending values independent of
 // the iteration variables (constant sentinels) is order-insensitive and
 // not flagged.
-func checkMapRangeReturn(pass *Pass, rng *ast.RangeStmt, ret *ast.ReturnStmt) {
+func checkMapRangeReturn(info *types.Info, rng *ast.RangeStmt, ret *ast.ReturnStmt, report func(token.Pos, string, ...any)) {
 	iterVars := map[types.Object]bool{}
 	for _, e := range [2]ast.Expr{rng.Key, rng.Value} {
 		if id, ok := e.(*ast.Ident); ok {
-			if obj := pass.Info.ObjectOf(id); obj != nil {
+			if obj := info.ObjectOf(id); obj != nil {
 				iterVars[obj] = true
 			}
 		}
@@ -159,20 +191,20 @@ func checkMapRangeReturn(pass *Pass, rng *ast.RangeStmt, ret *ast.ReturnStmt) {
 	}
 	for _, res := range ret.Results {
 		call, ok := ast.Unparen(res).(*ast.CallExpr)
-		if !ok || !isAppendCall(pass.Info, call) {
+		if !ok || !isAppendCall(info, call) {
 			continue
 		}
 		for _, arg := range call.Args[1:] {
 			mentions := false
 			ast.Inspect(arg, func(n ast.Node) bool {
-				if id, ok := n.(*ast.Ident); ok && iterVars[pass.Info.ObjectOf(id)] {
+				if id, ok := n.(*ast.Ident); ok && iterVars[info.ObjectOf(id)] {
 					mentions = true
 					return false
 				}
 				return !mentions
 			})
 			if mentions {
-				pass.Reportf(ret.Pos(), "return append(...) inside map iteration appends the iteration variable: which element wins is randomized per run")
+				report(ret.Pos(), "return append(...) inside map iteration appends the iteration variable: which element wins is randomized per run")
 				return
 			}
 		}
@@ -182,7 +214,7 @@ func checkMapRangeReturn(pass *Pass, rng *ast.RangeStmt, ret *ast.ReturnStmt) {
 // sortedAfter reports whether any call after the range statement in the
 // enclosing function body is a sort/slices ordering call mentioning the
 // (root, path) slice.
-func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, root types.Object, path string) bool {
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, root types.Object, path string) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -192,7 +224,7 @@ func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, root types
 		if !ok || call.Pos() < rng.End() {
 			return true
 		}
-		fn := calleeFunc(pass.Info, call)
+		fn := calleeFunc(info, call)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
@@ -201,7 +233,7 @@ func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, root types
 			return true
 		}
 		for _, arg := range call.Args {
-			if containsRef(pass.Info, arg, root, path) {
+			if containsRef(info, arg, root, path) {
 				found = true
 				return false
 			}

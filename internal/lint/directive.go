@@ -15,11 +15,30 @@ import (
 const directivePrefix = "//diversify:"
 
 // knownDirectives maps directive kinds to the analyzer they suppress.
-// Anything else after "//diversify:" is an unknown-directive finding.
+// Anything else after "//diversify:" — unless it is a marker kind — is
+// an unknown-directive finding.
 var knownDirectives = map[string]string{
-	"allow-nondet":  "detsource",
-	"allow-context": "ctxpropagate",
-	"allow-discard": "durableerr",
+	"allow-nondet":    "detsource",
+	"allow-context":   "ctxpropagate",
+	"allow-discard":   "durableerr",
+	"allow-unguarded": "guardedby",
+}
+
+// markerKinds are the declaration-attached directives the
+// interprocedural analyzers consume. Unlike allow directives they do
+// not suppress findings line-by-line: they annotate functions, struct
+// fields and package-level vars, and are bound to their declarations by
+// collectMarkers.
+//
+//	//diversify:det-root [note]       determinism-certified entry point (detreach walks from here)
+//	//diversify:det-pure <reason>     audited leaf: treat as deterministic, do not descend
+//	//diversify:guardedby <mutex>     struct field accessed only under the named sibling mutex
+//	//diversify:hotpath [note]        zero-alloc path: new heap escapes vs baseline fail hotalloc
+var markerKinds = map[string]bool{
+	"det-root":  true,
+	"det-pure":  true,
+	"guardedby": true,
+	"hotpath":   true,
 }
 
 // directive is one parsed allow directive.
@@ -51,11 +70,14 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, out *[]Diagnostic
 				pos := fset.Position(c.Pos())
 				kind, reason, _ := strings.Cut(strings.TrimPrefix(c.Text, directivePrefix), " ")
 				reason = strings.TrimSpace(reason)
+				if markerKinds[kind] {
+					continue // bound and validated by collectMarkers
+				}
 				if _, ok := knownDirectives[kind]; !ok {
 					*out = append(*out, Diagnostic{
 						Pos:      pos,
 						Analyzer: "directive",
-						Message:  "unknown directive //diversify:" + kind + " (known: allow-nondet, allow-context, allow-discard)",
+						Message:  "unknown directive //diversify:" + kind + " (known: allow-nondet, allow-context, allow-discard, allow-unguarded, det-root, det-pure, guardedby, hotpath)",
 					})
 					continue
 				}

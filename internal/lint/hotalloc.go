@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// EscapeBaselineFile is the committed escape baseline, relative to the
+// module root: one line per accepted heap escape in a hotpath function,
+// formatted "pkg\tfunc\tmessage", sorted, duplicates repeated (the
+// baseline is a multiset). Regenerate with
+// `go run ./cmd/diversify-lint -write-baseline`.
+const EscapeBaselineFile = "internal/lint/testdata/escape_baseline.txt"
+
+// HotAlloc gates allocation regressions in the hot paths statically:
+// it replays the compiler's own escape analysis
+// (`go build -gcflags='<pkg>=-m=1'`) for every package containing a
+// //diversify:hotpath function and diffs the heap-escape sites inside
+// those functions against the committed baseline. A new escape is a
+// finding at the escaping expression; an entry that no longer occurs is
+// a stale-baseline finding, so the baseline cannot rot into an
+// allowlist of nothing. The key is pkg+function+message, deliberately
+// without line numbers: moving code around must not churn the baseline,
+// adding an allocation must.
+//
+// The repo's zero-alloc claims (the des arena, campaign propagation,
+// the memoized Score path) are currently enforced dynamically by
+// testing.AllocsPerRun benches; this is the static half — it fires on
+// `go build`-level evidence in CI before any bench runs, and it names
+// the exact expression that started escaping.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "//diversify:hotpath functions may not gain heap escapes beyond " +
+		"the committed escape baseline",
+	RunProgram: runHotAlloc,
+}
+
+// escapeDiag is one compiler escape-analysis diagnostic, position
+// resolved to an absolute filename.
+type escapeDiag struct {
+	pos token.Position
+	msg string
+}
+
+// escapeDiagnosticsFn obtains the escape diagnostics for the given
+// package import paths, rooted at the module directory. Tests inject a
+// fake here; nil with an empty module dir disables the analyzer
+// (fixture packages have no buildable module to ask the compiler
+// about).
+var escapeDiagnosticsFn func(dir string, pkgs []string) ([]escapeDiag, error)
+
+func runHotAlloc(pp *ProgramPass) {
+	prog := pp.Prog
+
+	// Hotpath functions, grouped into spans per source file.
+	type hotSpan struct {
+		fi         *FuncInfo
+		start, end int
+	}
+	spans := map[string][]hotSpan{}
+	pkgSet := map[string]bool{}
+	for _, fi := range prog.Funcs {
+		if !fi.Hotpath || fi.Decl.Body == nil {
+			continue
+		}
+		start := fi.Pkg.Fset.Position(fi.Decl.Pos())
+		end := fi.Pkg.Fset.Position(fi.Decl.End())
+		name := filepath.Clean(start.Filename)
+		spans[name] = append(spans[name], hotSpan{fi: fi, start: start.Line, end: end.Line})
+		pkgSet[fi.Pkg.Path] = true
+	}
+	if len(pkgSet) == 0 {
+		return
+	}
+
+	diagFn := escapeDiagnosticsFn
+	if diagFn == nil {
+		if prog.Dir == "" {
+			return // fixture program: nothing to build
+		}
+		diagFn = compilerEscapeDiagnostics
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	slices.Sort(pkgs)
+	diags, err := diagFn(prog.Dir, pkgs)
+	if err != nil {
+		pp.ReportPosf(token.Position{Filename: EscapeBaselineFile}, "escape analysis failed: %v", err)
+		return
+	}
+	slices.SortStableFunc(diags, func(a, b escapeDiag) int {
+		if c := strings.Compare(a.pos.Filename, b.pos.Filename); c != 0 {
+			return c
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line - b.pos.Line
+		}
+		return a.pos.Column - b.pos.Column
+	})
+
+	// Attribute each escape to the hotpath function whose span covers it.
+	current := map[string][]escapeDiag{}
+	for _, d := range diags {
+		for _, s := range spans[filepath.Clean(d.pos.Filename)] {
+			if d.pos.Line >= s.start && d.pos.Line <= s.end {
+				key := s.fi.Pkg.Path + "\t" + funcDisplayName(s.fi.Fn) + "\t" + d.msg
+				current[key] = append(current[key], d)
+				break
+			}
+		}
+	}
+
+	// Fixture programs (no module dir) check against an empty baseline:
+	// every injected escape reports as new, and no stale entries from the
+	// real repo's baseline can leak in.
+	baseline, baselineLine := map[string]int{}, map[string]int{}
+	if prog.Dir != "" {
+		baseline, baselineLine = readEscapeBaseline(filepath.Join(prog.Dir, EscapeBaselineFile))
+	}
+
+	keys := make([]string, 0, len(current))
+	for k := range current {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, key := range keys {
+		ds := current[key]
+		extra := len(ds) - baseline[key]
+		fn := strings.SplitN(key, "\t", 3)[1]
+		for i := len(ds) - extra; i < len(ds); i++ {
+			pp.ReportPosf(ds[i].pos,
+				"new heap escape in hotpath function %s: %s (fix the allocation, or rebaseline with `go run ./cmd/diversify-lint -write-baseline` and justify it in review)",
+				fn, ds[i].msg)
+		}
+	}
+
+	baseKeys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		baseKeys = append(baseKeys, k)
+	}
+	slices.Sort(baseKeys)
+	for _, key := range baseKeys {
+		if stale := baseline[key] - len(current[key]); stale > 0 {
+			parts := strings.SplitN(key, "\t", 3)
+			pp.ReportPosf(token.Position{Filename: EscapeBaselineFile, Line: baselineLine[key]},
+				"stale escape baseline entry for %s (%s): the compiler no longer reports it — rebaseline so the gate stays tight",
+				parts[1], parts[2])
+		}
+	}
+}
+
+// compilerEscapeDiagnostics shells out to the Go compiler for its
+// escape analysis. go replays -gcflags diagnostics from the build cache
+// on repeat invocations, so this stays cheap after the first run.
+func compilerEscapeDiagnostics(dir string, pkgs []string) ([]escapeDiag, error) {
+	args := []string{"build"}
+	for _, p := range pkgs {
+		args = append(args, "-gcflags="+p+"=-m=1")
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+	var out []escapeDiag
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		d, ok := parseEscapeLine(dir, line)
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// parseEscapeLine parses one "file:line:col: message" compiler line,
+// keeping only heap-escape messages (the -m output also narrates
+// inlining decisions and parameter leaks, which the gate ignores).
+func parseEscapeLine(dir, line string) (escapeDiag, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return escapeDiag{}, false
+	}
+	rest := line
+	var parts [3]string
+	for i := 0; i < 3; i++ {
+		idx := strings.Index(rest, ":")
+		if idx < 0 {
+			return escapeDiag{}, false
+		}
+		parts[i] = rest[:idx]
+		rest = rest[idx+1:]
+	}
+	lineNo, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return escapeDiag{}, false
+	}
+	msg := strings.TrimSpace(rest)
+	if !isEscapeMsg(msg) {
+		return escapeDiag{}, false
+	}
+	file := parts[0]
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(dir, file)
+	}
+	return escapeDiag{
+		pos: token.Position{Filename: filepath.Clean(file), Line: lineNo, Column: col},
+		msg: msg,
+	}, true
+}
+
+// isEscapeMsg reports whether a compiler -m message describes a heap
+// escape ("x escapes to heap", "moved to heap: x") as opposed to
+// inlining narration or "does not escape" confirmations.
+func isEscapeMsg(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+// readEscapeBaseline loads the baseline multiset: counts per key and
+// the first line number each key appears on (for stale-entry
+// diagnostics). A missing file is an empty baseline — every escape in a
+// hotpath function then reports as new, which is exactly the bootstrap
+// prompt to run -write-baseline.
+func readEscapeBaseline(path string) (map[string]int, map[string]int) {
+	counts := map[string]int{}
+	lines := map[string]int{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return counts, lines
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		counts[line]++
+		if _, ok := lines[line]; !ok {
+			lines[line] = i + 1
+		}
+	}
+	return counts, lines
+}
+
+// EscapeBaseline computes the current baseline content for the
+// program: the sorted multiset of heap escapes inside hotpath
+// functions, one "pkg\tfunc\tmessage" line each. The CLI's
+// -write-baseline flag persists it to EscapeBaselineFile.
+func EscapeBaseline(prog *Program) ([]string, error) {
+	type span struct {
+		key        string
+		file       string
+		start, end int
+	}
+	var spans []span
+	pkgSet := map[string]bool{}
+	for _, fi := range prog.Funcs {
+		if !fi.Hotpath || fi.Decl.Body == nil {
+			continue
+		}
+		start := fi.Pkg.Fset.Position(fi.Decl.Pos())
+		end := fi.Pkg.Fset.Position(fi.Decl.End())
+		spans = append(spans, span{
+			key:   fi.Pkg.Path + "\t" + funcDisplayName(fi.Fn),
+			file:  filepath.Clean(start.Filename),
+			start: start.Line,
+			end:   end.Line,
+		})
+		pkgSet[fi.Pkg.Path] = true
+	}
+	if len(pkgSet) == 0 {
+		return nil, nil
+	}
+	diagFn := escapeDiagnosticsFn
+	if diagFn == nil {
+		if prog.Dir == "" {
+			return nil, fmt.Errorf("lint: cannot run escape analysis without a module directory")
+		}
+		diagFn = compilerEscapeDiagnostics
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	slices.Sort(pkgs)
+	diags, err := diagFn(prog.Dir, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, d := range diags {
+		for _, s := range spans {
+			if s.file == filepath.Clean(d.pos.Filename) && d.pos.Line >= s.start && d.pos.Line <= s.end {
+				out = append(out, s.key+"\t"+d.msg)
+				break
+			}
+		}
+	}
+	slices.Sort(out)
+	return out, nil
+}

@@ -1,26 +1,39 @@
-// Package lint is the repo's custom static-analysis suite: five
+// Package lint is the repo's custom static-analysis suite: eight
 // analyzers that machine-check the load-bearing guarantees every PR so
 // far has only enforced dynamically — common-random-number determinism,
 // context propagation, the CRN seeding gate, durable-write error
-// handling and the zero-cost-when-disabled telemetry contract.
+// handling, the zero-cost-when-disabled telemetry contract, and (since
+// step 9) the interprocedural versions: transitive determinism
+// reachability, declared lock discipline and static hot-path
+// allocation gating.
 //
 // The driver is stdlib-only (go/parser + go/types over `go list -export`
 // compiled export data — no module dependencies, consistent with the
 // repo's zero-dep posture). Analyzers are structured as self-contained
 // (Name, Doc, Applies, Run) values over a Pass, so they could later be
 // ported to golang.org/x/tools/go/analysis if the repo ever takes that
-// dependency.
+// dependency. Interprocedural analyzers implement RunProgram instead of
+// Run and receive a whole-program CHA call graph (see callgraph.go).
 //
-// Audited exceptions are declared in source with directives:
+// Audited exceptions are declared in source with allow directives:
 //
-//	//diversify:allow-nondet <reason>   suppresses detsource
-//	//diversify:allow-context <reason>  suppresses ctxpropagate
-//	//diversify:allow-discard <reason>  suppresses durableerr
+//	//diversify:allow-nondet <reason>     suppresses detsource and detreach
+//	//diversify:allow-context <reason>    suppresses ctxpropagate
+//	//diversify:allow-discard <reason>    suppresses durableerr
+//	//diversify:allow-unguarded <reason>  suppresses guardedby
 //
-// A directive suppresses findings on its own line or the line directly
-// below it. Unknown directive kinds, directives without a reason and
-// directives that suppress nothing are themselves diagnostics, so the
-// allowlist can never rot.
+// An allow directive suppresses findings on its own line or the line
+// directly below it. Marker directives attach guarantees to
+// declarations instead of suppressing findings:
+//
+//	//diversify:det-root <note>          entry point certified deterministic
+//	//diversify:det-pure <reason>        audited deterministic leaf
+//	//diversify:guardedby <mutex-field>  field requires the named lock
+//	//diversify:hotpath <note>           function is escape-baseline gated
+//
+// Unknown directive kinds, directives without a reason, directives that
+// suppress nothing and markers that attach to nothing are themselves
+// diagnostics, so neither list can rot.
 package lint
 
 import (
@@ -59,6 +72,10 @@ type Analyzer struct {
 	// every rule at once.
 	Applies func(pkgPath string) bool
 	Run     func(*Pass)
+	// RunProgram runs once over the whole loaded program instead of once
+	// per package — the interprocedural analyzers (detreach, hotalloc).
+	// Exactly one of Run / RunProgram is set.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -73,6 +90,7 @@ type Pass struct {
 
 	analyzer *Analyzer
 	dirs     *directiveIndex
+	marks    *markerIndex
 	out      *[]Diagnostic
 }
 
@@ -90,19 +108,67 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ProgramPass carries the whole-program view through one
+// interprocedural analyzer.
+type ProgramPass struct {
+	Prog *Program
+	// Fset resolves positions for every loaded package (the loader
+	// shares one FileSet across the program).
+	Fset *token.FileSet
+
+	analyzer *Analyzer
+	out      *[]Diagnostic
+}
+
+// Reportf records a whole-program finding. Allow-directive filtering
+// for program analyzers happens where the program is built (sources
+// audited with allow-nondet never become call-graph sources), not here.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportPosf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosf records a finding at a pre-resolved position — how
+// hotalloc reports at compiler-output and baseline-file coordinates
+// that have no token.Pos.
+func (p *ProgramPass) ReportPosf(pos token.Position, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetSource, CtxPropagate, RNGGate, DurableErr, TelemetryGuard}
+	return []*Analyzer{DetSource, CtxPropagate, RNGGate, DurableErr, TelemetryGuard, GuardedBy, DetReach, HotAlloc}
 }
 
 // Check runs the analyzers over the loaded packages and returns every
 // finding (including directive hygiene: unknown kinds, missing reasons,
-// unused allows), sorted by position.
+// unused allows, unbound markers), sorted by position. Per-package
+// analyzers run first, then the interprocedural ones over the shared
+// call graph; unused-directive hygiene runs last because program
+// analyzers consume directives too (allow-nondet at a source site
+// covers detsource and detreach with one audit).
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	dirs := map[*Package]*directiveIndex{}
+	marks := map[*Package]*markerIndex{}
+	needProgram := false
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			needProgram = true
+		}
+	}
 	for _, pkg := range pkgs {
-		dirs := collectDirectives(pkg.Fset, pkg.Files, &out)
+		dirs[pkg] = collectDirectives(pkg.Fset, pkg.Files, &out)
+		marks[pkg] = collectMarkers(pkg.Fset, pkg.Files, pkg.Info, &out)
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Applies != nil && !a.Applies(pkg.Path) {
 				continue
 			}
@@ -113,11 +179,28 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				Path:     pkg.Path,
 				analyzer: a,
-				dirs:     dirs,
+				dirs:     dirs[pkg],
+				marks:    marks[pkg],
 				out:      &out,
 			})
 		}
-		dirs.reportUnused(&out)
+	}
+	if needProgram && len(pkgs) > 0 {
+		prog := buildProgram(pkgs, dirs, marks)
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			a.RunProgram(&ProgramPass{
+				Prog:     prog,
+				Fset:     pkgs[0].Fset,
+				analyzer: a,
+				out:      &out,
+			})
+		}
+	}
+	for _, pkg := range pkgs {
+		dirs[pkg].reportUnused(&out)
 	}
 	slices.SortFunc(out, func(a, b Diagnostic) int {
 		if c := cmp.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {

@@ -126,6 +126,14 @@ func TestTelemetryGuardCmdExempt(t *testing.T) {
 	runFixture(t, "diversify/cmd/optimize", []*Analyzer{TelemetryGuard}, "telemetryguard_cmd.go")
 }
 
+func TestDetReachFixture(t *testing.T) {
+	runFixture(t, "diversify/internal/topology", []*Analyzer{DetReach}, "detreach.go")
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	runFixture(t, "diversify/internal/telemetry", []*Analyzer{GuardedBy}, "guardedby.go")
+}
+
 // TestDirectiveHygiene asserts the three directive findings explicitly:
 // want comments can't ride on directive lines because the parser would
 // swallow them as the reason text.

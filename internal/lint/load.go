@@ -24,6 +24,10 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Dir is the absolute module root the package was loaded from. The
+	// hotalloc analyzer shells out to `go build` from here; it is empty
+	// for fixture packages, which disables compiler-backed analyzers.
+	Dir string
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -133,6 +137,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving module dir: %v", err)
+	}
 	exports := make(map[string]string, len(listing))
 	for _, p := range listing {
 		if p.Export != "" {
@@ -163,6 +171,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Dir = absDir
 		out = append(out, pkg)
 	}
 	if len(out) == 0 {

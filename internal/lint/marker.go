@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// marker is one parsed declaration-attached directive (det-root,
+// det-pure, guardedby, hotpath). arg is the first word after the kind —
+// the guarded mutex field name for guardedby, the audit note otherwise.
+type marker struct {
+	kind string
+	arg  string
+	pos  token.Position
+}
+
+// markerIndex binds markers to the declarations they annotate within
+// one package.
+type markerIndex struct {
+	// funcs holds det-root / det-pure / hotpath markers per function
+	// declaration, keyed by the declared *types.Func.
+	funcs map[*types.Func][]marker
+	// guarded maps an annotated struct field object to its guardedby
+	// marker (arg = the sibling mutex field name).
+	guarded map[types.Object]marker
+	// pureVars holds det-pure markers on package-level vars (the
+	// injectable-clock escape hatch): object -> marker.
+	pureVars map[types.Object]marker
+}
+
+// markerFor returns the first marker of the given kind on fn, if any.
+func (ix *markerIndex) markerFor(fn *types.Func, kind string) (marker, bool) {
+	for _, m := range ix.funcs[fn] {
+		if m.kind == kind {
+			return m, true
+		}
+	}
+	return marker{}, false
+}
+
+// parseMarker parses a //diversify:<marker> comment, returning ok=false
+// for non-marker comments.
+func parseMarker(fset *token.FileSet, c *ast.Comment) (marker, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return marker{}, false
+	}
+	kind, rest, _ := strings.Cut(strings.TrimPrefix(c.Text, directivePrefix), " ")
+	if !markerKinds[kind] {
+		return marker{}, false
+	}
+	arg, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	if kind != "guardedby" {
+		// Non-guardedby markers carry a free-form note, not a single arg.
+		arg = strings.TrimSpace(rest)
+	}
+	return marker{kind: kind, arg: arg, pos: fset.Position(c.Pos())}, true
+}
+
+// collectMarkers parses and binds every marker directive in the
+// package: det-root / det-pure / hotpath to function declarations (via
+// their doc comments), guardedby to struct fields (doc or trailing
+// comment), det-pure also to package-level var specs. Hygiene
+// violations — a marker on nothing, det-pure without a reason,
+// guardedby without a mutex name or on a non-field — are reported under
+// the "directive" pseudo-analyzer, same as allow-directive hygiene.
+func collectMarkers(fset *token.FileSet, files []*ast.File, info *types.Info, out *[]Diagnostic) *markerIndex {
+	ix := &markerIndex{
+		funcs:    map[*types.Func][]marker{},
+		guarded:  map[types.Object]marker{},
+		pureVars: map[types.Object]marker{},
+	}
+	bound := map[token.Position]bool{}
+
+	bindComments := func(cg *ast.CommentGroup, bind func(marker) bool) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			if m, ok := parseMarker(fset, c); ok && bind(m) {
+				bound[m.pos] = true
+			}
+		}
+	}
+
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn, _ := info.Defs[n.Name].(*types.Func)
+				bindComments(n.Doc, func(m marker) bool {
+					switch m.kind {
+					case "det-root", "det-pure", "hotpath":
+						if m.kind == "det-pure" && m.arg == "" {
+							*out = append(*out, Diagnostic{Pos: m.pos, Analyzer: "directive",
+								Message: "//diversify:det-pure needs a reason: an audited determinism exemption must say why"})
+						}
+						if fn != nil {
+							ix.funcs[fn] = append(ix.funcs[fn], m)
+						}
+						return true
+					case "guardedby":
+						*out = append(*out, Diagnostic{Pos: m.pos, Analyzer: "directive",
+							Message: "//diversify:guardedby annotates struct fields, not functions"})
+						return true
+					}
+					return false
+				})
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					bindField := func(m marker) bool {
+						switch m.kind {
+						case "guardedby":
+							if m.arg == "" {
+								*out = append(*out, Diagnostic{Pos: m.pos, Analyzer: "directive",
+									Message: "//diversify:guardedby needs the name of the sibling mutex field it defers to"})
+								return true
+							}
+							for _, name := range field.Names {
+								if obj := info.Defs[name]; obj != nil {
+									ix.guarded[obj] = m
+								}
+							}
+							return true
+						case "det-root", "det-pure", "hotpath":
+							*out = append(*out, Diagnostic{Pos: m.pos, Analyzer: "directive",
+								Message: "//diversify:" + m.kind + " annotates declarations, not struct fields"})
+							return true
+						}
+						return false
+					}
+					bindComments(field.Doc, bindField)
+					bindComments(field.Comment, bindField)
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					bindVar := func(m marker) bool {
+						if m.kind != "det-pure" {
+							return false
+						}
+						if m.arg == "" {
+							*out = append(*out, Diagnostic{Pos: m.pos, Analyzer: "directive",
+								Message: "//diversify:det-pure needs a reason: an audited determinism exemption must say why"})
+						}
+						for _, name := range vs.Names {
+							if obj := info.Defs[name]; obj != nil {
+								ix.pureVars[obj] = m
+							}
+						}
+						return true
+					}
+					bindComments(n.Doc, bindVar)
+					bindComments(vs.Doc, bindVar)
+					bindComments(vs.Comment, bindVar)
+				}
+			}
+			return true
+		})
+	}
+
+	// Any marker comment not bound above annotates nothing — the same
+	// anti-rot rule unused allow directives get.
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m, ok := parseMarker(fset, c)
+				if !ok || bound[m.pos] {
+					continue
+				}
+				*out = append(*out, Diagnostic{Pos: m.pos, Analyzer: "directive",
+					Message: "//diversify:" + m.kind + " attaches to nothing: it must sit in the doc comment of a func, struct field or package-level var"})
+			}
+		}
+	}
+	return ix
+}

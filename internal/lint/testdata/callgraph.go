@@ -1,0 +1,26 @@
+// Fixture for the call-graph builder, type-checked under the virtual
+// path diversify/internal/topology.
+package topology
+
+type worker interface{ work() }
+
+type workerA struct{}
+
+func (workerA) work() {}
+
+type workerB struct{}
+
+func (workerB) work() {}
+
+// dispatch calls through the interface: CHA must produce edges to every
+// implementing type in the program.
+func dispatch(w worker) { w.work() }
+
+// takesValue only references helperLeaf as a value; the edge belongs to
+// the function that creates the value.
+func takesValue() func() { return helperLeaf }
+
+func helperLeaf() {}
+
+// methodValue captures a bound method value.
+func methodValue(a workerA) func() { return a.work }

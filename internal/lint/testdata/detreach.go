@@ -1,0 +1,104 @@
+// Fixture for the detreach analyzer, type-checked under the virtual
+// path diversify/internal/topology — deliberately NOT a
+// determinism-critical package, because reachability from a det-root is
+// what pulls a function into the contract, not which package it sits
+// in.
+package topology
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// reachRoot is the certified entry point: everything it can reach must
+// be deterministic.
+//
+//diversify:det-root fixture entry point
+func reachRoot() {
+	mid()
+	pureLeaf()
+	viaIface(impl{})
+	f := valueLeaf
+	_ = f
+	joined()
+	unjoined()
+	_ = leakOrder(nil)
+	_ = viaVar()
+	_ = viaPureVar()
+	_ = allowedSource()
+}
+
+func mid() time.Time { return leafClock() }
+
+func leafClock() time.Time {
+	return time.Now() // want "via topology.reachRoot -> topology.mid -> topology.leafClock"
+}
+
+// pureLeaf is an audited deterministic leaf: detreach neither reports
+// its sources nor descends into it.
+//
+//diversify:det-pure fixture: audited leaf, clock value discarded
+func pureLeaf() time.Time { return time.Now() }
+
+type doer interface{ do() }
+
+type impl struct{}
+
+func (impl) do() {
+	_ = rand.Int() // want "global RNG math/rand"
+}
+
+// viaIface dispatches through the interface; CHA resolves it to impl.
+func viaIface(d doer) { d.do() }
+
+// valueLeaf is never called directly — reachRoot only takes its value —
+// but a captured function runs wherever the value flows, so the edge
+// counts.
+func valueLeaf() {
+	_ = rand.Float64() // want "global RNG math/rand"
+}
+
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+func unjoined() {
+	go func() {}() // want "go statement without a sync.WaitGroup join"
+}
+
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+// fixtureClock is the injectable-clock pattern without the audit: a
+// package-level func var initialized from a denylisted source.
+var fixtureClock = time.Now
+
+func viaVar() time.Time {
+	return fixtureClock() // want "via func var fixtureClock"
+}
+
+// pureVarClock is the audited version: det-pure on the var makes calls
+// through it deterministic leaves.
+//
+//diversify:det-pure fixture: frozen by tests, never feeds outputs
+var pureVarClock = time.Now
+
+func viaPureVar() time.Time { return pureVarClock() }
+
+func allowedSource() time.Time {
+	//diversify:allow-nondet fixture: one audit covers detsource and detreach alike
+	return time.Now()
+}
+
+// unreachableClock is nondeterministic but nothing certified reaches
+// it, so detreach stays silent about it.
+func unreachableClock() time.Time { return time.Now() }

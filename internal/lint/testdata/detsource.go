@@ -21,6 +21,24 @@ func allowedClock() time.Time {
 	return time.Now()
 }
 
+// The timer/ticker constructors arm the wall clock: their channels fire
+// on wall time, which is scheduling nondeterminism by another name.
+func armed() *time.Timer {
+	return time.NewTimer(time.Second) // want "wall-clock read time.NewTimer"
+}
+
+func after() <-chan time.Time {
+	return time.After(time.Second) // want "wall-clock read time.After"
+}
+
+func ticking() <-chan time.Time {
+	return time.Tick(time.Second) // want "wall-clock read time.Tick"
+}
+
+func napping() {
+	time.Sleep(time.Millisecond) // Sleep delays without producing a value: not a finding.
+}
+
 func draw() float64 {
 	return rand.Float64() // want "global RNG math/rand"
 }

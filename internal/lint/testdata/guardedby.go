@@ -1,0 +1,99 @@
+// Fixture for the guardedby analyzer, type-checked under the virtual
+// path diversify/internal/telemetry.
+package telemetry
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int //diversify:guardedby mu
+	n  int            //diversify:guardedby rw
+}
+
+func locked(r *reg) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m["k"]
+}
+
+func lockWindow(r *reg) int {
+	r.mu.Lock()
+	v := r.m["k"]
+	r.mu.Unlock()
+	return v
+}
+
+func unlocked(r *reg) int {
+	return r.m["k"] // want "not under r.mu.Lock()"
+}
+
+func afterUnlock(r *reg) int {
+	r.mu.Lock()
+	_ = r.m["k"]
+	r.mu.Unlock()
+	return r.m["k"] // want "after r.mu was unlocked"
+}
+
+func readUnderRLock(r *reg) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.n
+}
+
+func writeUnderRLock(r *reg) {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	r.n = 1 // want "write to r.n under RLock"
+}
+
+func writeUnderLock(r *reg) {
+	r.rw.Lock()
+	defer r.rw.Unlock()
+	r.n = 1
+}
+
+// fresh builds the value in-function: nothing can race construction.
+func fresh() *reg {
+	r := &reg{m: map[string]int{}}
+	r.m["k"] = 1
+	return r
+}
+
+func audited(r *reg) int {
+	//diversify:allow-unguarded fixture: caller holds mu by documented contract
+	return r.m["k"]
+}
+
+func dynamicReceiver(get func() *reg) int {
+	return get().m["k"] // want "cannot verify lock discipline for dynamic receiver"
+}
+
+// closureLock locks inside a sibling closure; that proves nothing about
+// the access after it.
+func closureLock(r *reg) int {
+	f := func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	f()
+	return r.m["k"] // want "not under r.mu.Lock()"
+}
+
+// deferredAccess locks inside the deferred closure that also performs
+// the access: the ops in the enclosing closure are what guard it.
+func deferredAccess(r *reg) {
+	defer func() {
+		r.mu.Lock()
+		r.m["k"] = 1
+		r.mu.Unlock()
+	}()
+}
+
+type badAnnotations struct {
+	flag bool
+	//diversify:guardedby flag
+	v int // want "not a sync.Mutex"
+	//diversify:guardedby nosuch
+	w int // want "not a sibling field"
+}

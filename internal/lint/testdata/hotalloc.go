@@ -1,0 +1,19 @@
+// Fixture for the hotalloc analyzer, type-checked under the virtual
+// path diversify/internal/des. The test injects compiler escape
+// diagnostics at the marked lines instead of running the compiler.
+package des
+
+// hot is escape-gated.
+//
+//diversify:hotpath fixture: the gate under test
+func hot() *int {
+	v := new(int) // HOT-ALLOC
+	return v
+}
+
+// cold allocates identically but is not annotated, so its escapes are
+// not the gate's business.
+func cold() *int {
+	v := new(int) // COLD-ALLOC
+	return v
+}

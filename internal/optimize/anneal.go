@@ -28,6 +28,8 @@ type Anneal struct {
 func (*Anneal) Name() string { return "anneal" }
 
 // Search implements Optimizer.
+//
+//diversify:det-root seeded search entry point: same seed, same trace
 func (an *Anneal) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
 	iters := p.Iterations
 	if iters <= 0 {

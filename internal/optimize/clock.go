@@ -8,6 +8,8 @@ import "time"
 // acceptance decisions or checkpoint byte content, so one audited
 // nondeterminism site covers them all. Tests freeze this variable to
 // prove the rest of the runtime is clock-independent.
+//
+//diversify:det-pure observability-only elapsed times; never feeds scoring, acceptance or checkpoint bytes, and tests freeze it to prove it
 var wallClock = time.Now //diversify:allow-nondet sole wall-time source; feeds only observability fields, never scoring or checkpoint bytes
 
 // sinceWall is time.Since against the injectable clock.

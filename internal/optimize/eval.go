@@ -260,6 +260,8 @@ func (e *Evaluator) engines(rot int) ([]*rotation.Engine, error) {
 // The returned Score is identical for identical candidates regardless of
 // evaluation order or worker count. The candidate is snapshotted, so the
 // caller may keep mutating it.
+//
+//diversify:hotpath the memoized hit path runs once per search step; new escapes here tax every strategy
 func (e *Evaluator) Score(c Candidate) (Score, error) {
 	if err := e.ctx.Err(); err != nil {
 		return Score{}, err

@@ -35,6 +35,8 @@ type indiv struct {
 }
 
 // Search implements Optimizer.
+//
+//diversify:det-root seeded search entry point: same seed, same trace
 func (g *Genetic) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
 	gens := p.Iterations
 	if gens <= 0 {

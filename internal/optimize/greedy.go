@@ -25,6 +25,8 @@ type Greedy struct{}
 func (*Greedy) Name() string { return "greedy" }
 
 // Search implements Optimizer. Greedy is deterministic and ignores r.
+//
+//diversify:det-root seeded search entry point: same seed, same trace
 func (*Greedy) Search(ctx context.Context, p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
 	trace, _, err := greedySearch(ctx, p, ev, p.Iterations)
 	return trace, err

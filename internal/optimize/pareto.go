@@ -60,6 +60,8 @@ type pind struct {
 }
 
 // Search implements Optimizer.
+//
+//diversify:det-root seeded search entry point: same seed, same trace
 func (pt *Pareto) Search(ctx context.Context, p *Problem, ev *Evaluator, r *rng.Rand) ([]TraceStep, error) {
 	gens := p.Iterations
 	if gens <= 0 {

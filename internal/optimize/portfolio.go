@@ -31,6 +31,8 @@ func (*Portfolio) Name() string { return "portfolio" }
 // stages do not perturb one another's draws. A cancelled context stops
 // the chain after the current stage's partial trace — everything the
 // earlier stages evaluated stays in the shared archive.
+//
+//diversify:det-root seeded search entry point: same seed, same trace
 func (pf *Portfolio) Search(ctx context.Context, p *Problem, ev *Evaluator, _ *rng.Rand) ([]TraceStep, error) {
 	var trace []TraceStep
 	appendStage := func(stage string, steps []TraceStep) {

@@ -369,6 +369,8 @@ func (e *Engine) Start(rc malware.RotationControl, seed uint64) {
 }
 
 // Tick implements malware.Rotator: one scheduled policy decision.
+//
+//diversify:det-root policy decisions replay identically under CRN seeding
 func (e *Engine) Tick(rc malware.RotationControl) {
 	now := rc.Now()
 	switch e.spec.Kind {

@@ -59,13 +59,13 @@ type Collector struct {
 	reg *Registry
 
 	mu          sync.Mutex
-	report      Report
-	restored    int
-	lastElapsed time.Duration
-	latSum      float64
-	latMax      float64
-	latN        int
-	finished    bool
+	report      Report        //diversify:guardedby mu
+	restored    int           //diversify:guardedby mu
+	lastElapsed time.Duration //diversify:guardedby mu
+	latSum      float64       //diversify:guardedby mu
+	latMax      float64       //diversify:guardedby mu
+	latN        int           //diversify:guardedby mu
+	finished    bool          //diversify:guardedby mu
 }
 
 // NewCollector returns a collector; reg may be nil (report only).

@@ -30,12 +30,12 @@ type Progress struct {
 	now      func() time.Time
 
 	mu        sync.Mutex
-	last      time.Time
-	best      float64
-	haveBest  bool
-	ckptPath  string
-	ckptSpent time.Duration
-	storePath string
+	last      time.Time     //diversify:guardedby mu
+	best      float64       //diversify:guardedby mu
+	haveBest  bool          //diversify:guardedby mu
+	ckptPath  string        //diversify:guardedby mu
+	ckptSpent time.Duration //diversify:guardedby mu
+	storePath string        //diversify:guardedby mu
 }
 
 // NewProgress returns a progress printer on w. With ticker false only

@@ -205,7 +205,7 @@ func (m multiSink) Emit(e Event) {
 // sink the determinism tests attach, also useful as a debugging tap.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event //diversify:guardedby mu
 }
 
 // Emit implements Sink.
