@@ -77,32 +77,33 @@ func main() {
 func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	var (
-		topo       = fs.String("topo", "tiered", "topology: tiered, powergrid, or grid:N[:regions] (generated N-substation meshed grid)")
-		threat     = fs.String("threat", "stuxnet", "threat profile: stuxnet, duqu, flame")
-		strategy   = fs.String("strategy", "greedy", "search strategy: greedy, anneal, genetic, portfolio, pareto")
-		classes    = fs.String("classes", "OS,PLC,Protocol", "comma-separated component classes (OS, PLC, Protocol, HMI, EngTools, Historian)")
-		objective  = fs.String("objective", "success", "minimized indicator: success, ratio, ttsf, foothold")
-		objectives = fs.String("objectives", "", "Pareto front axes, comma-separated from cost,success,detection,foothold (empty = cost,success,detection)")
-		screen     = fs.Int("screen", 0, "options greedy simulates per round (0 = default surrogate screen, -1 = exhaustive)")
-		rotate     = fs.String("rotate", "", "comma-separated rotation schedules the search may pair with placements: policy:period[xbatch] with policy periodic, triggered or adaptive (e.g. triggered:48, periodic:24x2)")
-		maxZone    = fs.Int("max-per-zone", 0, "at most k distinct variants per component class per zone (0 = unconstrained)")
-		budget     = fs.Float64("budget", 40, "diversification budget (cost-model units)")
-		platform   = fs.Float64("platform-cost", 5, "cost per extra distinct variant per class")
-		nodeCost   = fs.Float64("node-cost", 2, "cost per node deviating from the default")
-		iters      = fs.Int("iterations", 0, "search iterations (0 = strategy default)")
-		pop        = fs.Int("pop", 0, "genetic population size (0 = default)")
-		reps       = fs.Int("reps", 64, "Monte-Carlo replications per candidate")
-		horizon    = fs.Float64("horizon", 720, "observation window in hours")
-		seed       = fs.Uint64("seed", 1, "RNG seed (fixes the whole search)")
-		workers    = fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
-		asJSON     = fs.Bool("json", false, "emit the full result as JSON")
-		checkpoint = fs.String("checkpoint", "", "snapshot the search state to this file (crash-safe atomic writes; resumable with -resume)")
-		ckptEvery  = fs.Int("checkpoint-every", 0, "evaluations between checkpoint snapshots (0 = default 32)")
-		resume     = fs.String("resume", "", "restore a -checkpoint file before searching; the deterministic replay reproduces the uninterrupted result byte for byte (missing file = fresh start)")
-		storePath  = fs.String("store", "", "durable evaluation store: append completed measurements here and warm-start re-optimizations from them")
-		progress   = fs.Bool("progress", false, "print a live one-line-per-round progress ticker to stderr")
-		telemJSON  = fs.String("telemetry-json", "", "write the JSON run telemetry report to this file")
-		metricsAt  = fs.String("metrics-listen", "", "serve Prometheus /metrics and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
+		topo        = fs.String("topo", "tiered", "topology: tiered, powergrid, or grid:N[:regions] (generated N-substation meshed grid)")
+		threat      = fs.String("threat", "stuxnet", "threat profile: stuxnet, duqu, flame")
+		strategy    = fs.String("strategy", "greedy", "search strategy: greedy, anneal, genetic, portfolio, pareto")
+		classes     = fs.String("classes", "OS,PLC,Protocol", "comma-separated component classes (OS, PLC, Protocol, HMI, EngTools, Historian)")
+		objective   = fs.String("objective", "success", "minimized indicator: success, ratio, ttsf, foothold")
+		objectives  = fs.String("objectives", "", "Pareto front axes, comma-separated from cost,success,detection,foothold (empty = cost,success,detection)")
+		screen      = fs.Int("screen", 0, "options greedy simulates per round (0 = default surrogate screen, -1 = exhaustive)")
+		rotate      = fs.String("rotate", "", "comma-separated rotation schedules the search may pair with placements: policy:period[xbatch] with policy periodic, triggered or adaptive (e.g. triggered:48, periodic:24x2)")
+		maxZone     = fs.Int("max-per-zone", 0, "at most k distinct variants per component class per zone (0 = unconstrained)")
+		budget      = fs.Float64("budget", 40, "diversification budget (cost-model units)")
+		platform    = fs.Float64("platform-cost", 5, "cost per extra distinct variant per class")
+		nodeCost    = fs.Float64("node-cost", 2, "cost per node deviating from the default")
+		iters       = fs.Int("iterations", 0, "search iterations (0 = strategy default)")
+		pop         = fs.Int("pop", 0, "genetic population size (0 = default)")
+		reps        = fs.Int("reps", 64, "Monte-Carlo replications per candidate")
+		horizon     = fs.Float64("horizon", 720, "observation window in hours")
+		seed        = fs.Uint64("seed", 1, "RNG seed (fixes the whole search)")
+		workers     = fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+		asJSON      = fs.Bool("json", false, "emit the full result as JSON")
+		checkpoint  = fs.String("checkpoint", "", "snapshot the search state to this file (crash-safe atomic writes; resumable with -resume)")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "evaluations between checkpoint snapshots (0 = default 32)")
+		resume      = fs.String("resume", "", "restore a -checkpoint file before searching; the deterministic replay reproduces the uninterrupted result byte for byte (missing file = fresh start)")
+		storePath   = fs.String("store", "", "durable evaluation store: append completed measurements here and warm-start re-optimizations from them")
+		traceSample = fs.Float64("trace-sample", 0, "fraction of replications traced for the post-search causal explanations in [0,1] (0 = off; see cmd/diversify-trace for the full toolchain)")
+		progress    = fs.Bool("progress", false, "print a live one-line-per-round progress ticker to stderr")
+		telemJSON   = fs.String("telemetry-json", "", "write the JSON run telemetry report to this file")
+		metricsAt   = fs.String("metrics-listen", "", "serve Prometheus /metrics and /debug/pprof on this address during the run (e.g. 127.0.0.1:9090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,7 +150,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		Iterations: *iters, Population: *pop,
 		Reps: *reps, HorizonHours: *horizon, Seed: *seed, Workers: *workers,
 		Checkpoint: *checkpoint, CheckpointEvery: *ckptEvery,
-		Resume: *resume, Store: *storePath,
+		Resume: *resume, Store: *storePath, TraceSample: *traceSample,
 		ProgressSink: sink, Metrics: reg,
 	})
 	if err != nil {
@@ -221,6 +222,21 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nsearch: %d steps, %d candidates simulated (%d replications), cache hits %d\n",
 		len(res.Trace), res.Evaluations, res.Replications, res.CacheHits)
+	for _, ex := range res.Explanations {
+		fmt.Fprintf(out, "\nexplanation [%s, schedule %s]: %d/%d replications traced, %d records\n",
+			ex.Candidate, ex.Rotation, ex.Sampled, ex.Replications, ex.Records)
+		if len(ex.Paths) > 0 {
+			fmt.Fprintf(out, "  top path: %d× %s\n", ex.Paths[0].Count, ex.Paths[0].Path)
+		}
+		if len(ex.ChokePoints) > 0 {
+			c := ex.ChokePoints[0]
+			fmt.Fprintf(out, "  top choke point: %d blocked at %s (%s)\n", c.Blocked, c.Node, c.Variant)
+		}
+		if rc := ex.RotationChurn; rc.Rotations > 0 {
+			fmt.Fprintf(out, "  rotation churn: %d rotations, %d evictions, %d reinfections\n",
+				rc.Rotations, rc.Evictions, rc.Reinfections)
+		}
+	}
 	if degErr != nil {
 		fmt.Fprintf(out, "\nDEGRADED: %s (best-so-far result, not a completed search)\n", res.Degraded)
 	}

@@ -57,6 +57,7 @@ import (
 	"diversify/internal/scope"
 	"diversify/internal/telemetry"
 	"diversify/internal/topology"
+	"diversify/internal/trace"
 )
 
 // Workflow types re-exported from the core pipeline.
@@ -192,6 +193,10 @@ type (
 	PlacementDecision = optimize.Decision
 	// ParetoPoint is one non-dominated candidate of the front.
 	ParetoPoint = optimize.ParetoPoint
+	// AttackExplanation is one aggregated causal trace report (attack
+	// paths, choke points, detection timeline, rotation chronology)
+	// carried on OptimizeResult.Explanations when TraceSample is set.
+	AttackExplanation = trace.Explanation
 	// ProgressSink receives the structured progress events the runtime
 	// emits while a search runs (run started, round completed, evaluation
 	// batches, checkpoints, quarantines, warm starts, run finished).
@@ -287,6 +292,14 @@ type OptimizeConfig struct {
 	// path: completed measurements are appended crash-safely and re-used
 	// to warm-start re-optimizations under tweaked budgets or objectives.
 	Store string
+	// TraceSample, when positive, replays the baseline and winning
+	// candidates after the search with causal trace capture on this
+	// fraction of replications (deterministically sampled per Seed) and
+	// reports the aggregated attack-path / choke-point / detection /
+	// rotation explanations on OptimizeResult.Explanations. Capture never
+	// perturbs the search: scores and decisions are byte-identical with
+	// tracing on or off.
+	TraceSample float64
 	// ProgressSink, when set, receives structured progress events during
 	// the search. Telemetry observes the run, it never steers it: results
 	// are byte-identical with or without a sink attached.
@@ -297,6 +310,12 @@ type OptimizeConfig struct {
 	// OptimizeResult.Telemetry with a JSON-ready run report.
 	Metrics *MetricsRegistry
 }
+
+// BuildTopology resolves a topology selector — the named reference
+// plants ("tiered", "powergrid") or a generated meshed grid ("grid:N" /
+// "grid:N:R", N substations in R regions) — for tools that drive the
+// campaign engine directly (cmd/diversify-trace).
+func BuildTopology(sel string) (*topology.Topology, error) { return buildTopology(sel) }
 
 // buildTopology resolves a topology selector: the named reference plants
 // or a generated meshed grid ("grid:N" / "grid:N:R", N substations in R
@@ -439,6 +458,7 @@ func OptimizeContext(ctx context.Context, cfg OptimizeConfig) (*OptimizeResult, 
 		Horizon:    cfg.HorizonHours,
 		Reps:       cfg.Reps, Workers: cfg.Workers, Seed: cfg.Seed,
 		Iterations: cfg.Iterations, Population: cfg.Population,
+		TraceSample: cfg.TraceSample,
 	}, opt, optimize.RunOptions{
 		CheckpointPath:  cfg.Checkpoint,
 		CheckpointEvery: cfg.CheckpointEvery,

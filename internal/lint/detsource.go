@@ -21,6 +21,7 @@ var detCritical = map[string]bool{
 	"diversify/internal/rng":        true,
 	"diversify/internal/indicators": true,
 	"diversify/internal/optimize":   true,
+	"diversify/internal/trace":      true,
 }
 
 // DetSource flags nondeterminism sources in determinism-critical

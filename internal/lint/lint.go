@@ -140,7 +140,7 @@ func (p *ProgramPass) ReportPosf(pos token.Position, format string, args ...any)
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetSource, CtxPropagate, RNGGate, DurableErr, TelemetryGuard, GuardedBy, DetReach, HotAlloc}
+	return []*Analyzer{DetSource, CtxPropagate, RNGGate, DurableErr, TelemetryGuard, TraceGuard, GuardedBy, DetReach, HotAlloc}
 }
 
 // Check runs the analyzers over the loaded packages and returns every

@@ -122,6 +122,10 @@ func TestTelemetryGuardFixture(t *testing.T) {
 	runFixture(t, "diversify/internal/scada", []*Analyzer{TelemetryGuard}, "telemetryguard.go")
 }
 
+func TestTraceGuardFixture(t *testing.T) {
+	runFixture(t, "diversify/internal/scada", []*Analyzer{TraceGuard}, "traceguard.go")
+}
+
 func TestTelemetryGuardCmdExempt(t *testing.T) {
 	runFixture(t, "diversify/cmd/optimize", []*Analyzer{TelemetryGuard}, "telemetryguard_cmd.go")
 }

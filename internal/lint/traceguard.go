@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TraceGuard enforces the PR-10 zero-cost-when-disabled contract for
+// causal tracing, the sibling of telemetryguard's nil-sink rule: every
+// Emit on a *trace.Tracer inside internal/ must sit behind the
+// nil-tracer guard — either directly inside `if tr != nil { ... }` or
+// after an early `if tr == nil { return }` in the same function. An
+// unguarded emission makes every untraced replication pay for record
+// construction on the campaign hot path, which breaks both the
+// zero-allocation discipline and (via the extra work) the byte-identity
+// budget the goldens pin. internal/trace itself is exempt: the Tracer's
+// own methods are the implementation of the contract, not users of it.
+var TraceGuard = &Analyzer{
+	Name: "traceguard",
+	Doc: "trace.Tracer emissions must be behind the nil-tracer guard " +
+		"(zero-cost-when-disabled)",
+	Applies: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "diversify/internal/") &&
+			pkgPath != "diversify/internal/trace"
+	},
+	Run: runTraceGuard,
+}
+
+func runTraceGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Emit" {
+				return true
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok || !namedFrom(tv.Type, "diversify/internal/trace", "Tracer") {
+				return true
+			}
+			root, path, ok := refPath(pass.Info, sel.X)
+			if !ok {
+				pass.Reportf(call.Pos(), "cannot verify nil-tracer guard for dynamic tracer expression %s.Emit: bind the tracer to a variable and guard it", types.ExprString(sel.X))
+				return true
+			}
+			if !guardedBy(pass, stack, call, root, path) {
+				pass.Reportf(call.Pos(), "%s.Emit is not behind a nil-tracer guard: wrap it in `if %s != nil { ... }` so untraced replications pay nothing", path, path)
+			}
+			return true
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"diversify/internal/rng"
 	"diversify/internal/rotation"
 	"diversify/internal/telemetry"
+	"diversify/internal/trace"
 )
 
 // archived is one archived evaluation (the candidate snapshot feeds the
@@ -150,6 +151,17 @@ type Evaluator struct {
 
 	// zoneBuf is the reusable scratch for MaxPerZone violation scans.
 	zoneBuf []diversity.Entry
+
+	// Trace-capture state, allocated lazily by explain (the search itself
+	// always runs untraced — explanations replay only the candidates worth
+	// explaining under the same CRN streams). tracing gates the runRep
+	// hook; traceSampled[i] fixes WHICH replications capture, up front,
+	// from the same non-advancing stream digests malware.EvaluateTraced
+	// hashes, so the sampled set is a pure function of the seed.
+	tracing      bool
+	traceSampled []bool
+	tracers      []*trace.Tracer
+	traceBuf     []trace.Trace
 }
 
 // newEvaluator prepares the worker pool for a normalized, validated
@@ -540,9 +552,26 @@ func (e *Evaluator) runRep(w, i int, c Candidate, assignFn malware.Assignment, e
 	} else {
 		camp.SetRotation(nil)
 	}
+	if e.tracing {
+		if e.traceSampled[i] {
+			tr := e.tracers[w]
+			if tr == nil {
+				tr = trace.NewTracer(explainTraceLimit)
+				e.tracers[w] = tr
+			}
+			tr.Reset()
+			camp.SetTracer(tr)
+		} else {
+			camp.SetTracer(nil)
+		}
+	}
 	out, err := camp.Run(e.p.Horizon)
 	if err != nil {
 		return err, nil
+	}
+	if e.tracing && e.traceSampled[i] {
+		tr := e.tracers[w]
+		e.traceBuf[i] = trace.Trace{Rep: i, Dropped: tr.Dropped(), Records: tr.Snapshot()}
 	}
 	e.succBuf[i] = out.Success
 	e.detBuf[i] = out.Detected
@@ -559,6 +588,66 @@ func (e *Evaluator) runRep(w, i int, c Candidate, assignFn malware.Assignment, e
 	e.reinfBuf[i] = out.Reinfections
 	e.rcostBuf[i] = out.RotationCost
 	return nil, nil
+}
+
+// explainTraceLimit caps one replication's captured records during an
+// explanation replay (overflow is reported, never silent — see
+// trace.Trace.Dropped).
+const explainTraceLimit = 8192
+
+// explain re-simulates one candidate with trace capture on the sampled
+// replications and aggregates the captures into an explanation report.
+// The replay reuses the evaluator's worker fan-out and CRN streams, so
+// it reproduces exactly the attack sequences the search scored — and
+// because capture consumes no RNG draw, running it perturbs nothing:
+// scores, goldens and the search trajectory are byte-identical with
+// explanations on or off.
+func (e *Evaluator) explain(label string, c Candidate, sample float64) (trace.Explanation, error) {
+	if e.traceSampled == nil {
+		e.traceSampled = make([]bool, e.p.Reps)
+		probe := rng.New(0)
+		for i, s := range e.seeds {
+			// The same decision malware.EvaluateTraced makes: hash the
+			// replication stream's non-advancing digest, so the sampled set
+			// is a pure function of the per-replication seed.
+			probe.Seed(s)
+			e.traceSampled[i] = trace.Sampled(probe.Digest(), sample)
+		}
+		e.tracers = make([]*trace.Tracer, e.nWorkers)
+		e.traceBuf = make([]trace.Trace, e.p.Reps)
+	}
+	clear(e.traceBuf)
+	e.tracing = true
+	_, err := e.simulate(c)
+	e.tracing = false
+	// Detach the tracers so any later untraced replication on these
+	// campaigns stays untraced.
+	for _, camp := range e.camps {
+		if camp != nil {
+			camp.SetTracer(nil)
+		}
+	}
+	if err != nil {
+		return trace.Explanation{}, err
+	}
+	traces := make([]trace.Trace, 0, len(e.traceBuf))
+	for i := range e.traceBuf {
+		if e.traceSampled[i] {
+			traces = append(traces, e.traceBuf[i])
+		}
+	}
+	nodes := e.p.Topo.Nodes()
+	return trace.Explain(traces, trace.ExplainOpts{
+		Candidate:    label,
+		Rotation:     e.p.rotName(c.Rot),
+		Replications: e.p.Reps,
+		NodeName: func(id int32) string {
+			if id >= 0 && int(id) < len(nodes) {
+				return nodes[id].Name
+			}
+			return fmt.Sprintf("node%d", id)
+		},
+	}), nil
 }
 
 // bestFeasible returns the best archived candidate within budget (and

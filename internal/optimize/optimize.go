@@ -43,6 +43,7 @@ import (
 	"diversify/internal/rotation"
 	"diversify/internal/telemetry"
 	"diversify/internal/topology"
+	"diversify/internal/trace"
 )
 
 // ErrBadProblem reports an invalid optimization request.
@@ -222,6 +223,14 @@ type Problem struct {
 	Population int
 	// FirewallVariant optionally overrides every firewalled link.
 	FirewallVariant exploits.VariantID
+	// TraceSample, when positive, captures causal attack traces for this
+	// fraction of replications (deterministically sampled per Seed) while
+	// replaying the baseline and winning candidates after the search, and
+	// reports the aggregated explanations on Result.Explanations. The
+	// search itself always runs untraced; capture consumes no RNG draw,
+	// so every score, trace step and front is byte-identical with
+	// explanations on or off.
+	TraceSample float64
 
 	// repHook is the robustness tests' fault-injection seam: called once
 	// per replication attempt before the campaign runs. Unexported — the
@@ -284,6 +293,9 @@ func (p *Problem) validate() error {
 	}
 	if p.MaxPerZone < 0 {
 		return fmt.Errorf("%w: MaxPerZone %d", ErrBadProblem, p.MaxPerZone)
+	}
+	if p.TraceSample < 0 || p.TraceSample > 1 || math.IsNaN(p.TraceSample) {
+		return fmt.Errorf("%w: trace sample %v outside [0, 1]", ErrBadProblem, p.TraceSample)
 	}
 	if p.MaxPerZone > 0 && !zoneFeasible(p, p.Base) {
 		return fmt.Errorf("%w: base configuration already exceeds MaxPerZone=%d", ErrBadProblem, p.MaxPerZone)
@@ -423,6 +435,12 @@ type Result struct {
 	BestRotationSpec *rotation.Spec `json:"-"`
 	Trace            []TraceStep    `json:"trace"`
 	Pareto           []ParetoPoint  `json:"pareto"`
+	// Explanations carries the causal attack-trace reports for the
+	// baseline and winning candidates when Problem.TraceSample > 0
+	// (replayed after the search under the same CRN streams). Every field
+	// is deterministic — explanations sit INSIDE the JSON byte-identity
+	// surface, unlike Telemetry.
+	Explanations []trace.Explanation `json:"explanations,omitempty"`
 	// Degraded is empty for a run that completed normally; otherwise it
 	// names why the search stopped early (context cancellation or
 	// deadline). A degraded result still carries the best feasible
@@ -661,7 +679,7 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 		return nil, err
 	}
 	degraded := ""
-	trace, err := o.Search(ctx, &p, ev, newSearchRand(p.Seed, o.Name()))
+	steps, err := o.Search(ctx, &p, ev, newSearchRand(p.Seed, o.Name()))
 	if err != nil {
 		if !interrupted(err) {
 			return nil, err
@@ -714,6 +732,35 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 			random = Score{}
 		}
 	}
+	// Explanation phase: replay the comparison pair — starting candidate
+	// vs winner — with trace capture and aggregate the causal reports.
+	// Skipped for degraded runs (the incumbent should reach the caller as
+	// fast as the drain allows) and for candidates that trip a quarantine
+	// during the replay.
+	var explanations []trace.Explanation
+	if p.TraceSample > 0 && degraded == "" {
+		for _, ec := range []struct {
+			label string
+			c     Candidate
+		}{{"baseline", p.baseCand()}, {"best", bestC}} {
+			ex, xerr := ev.explain(ec.label, ec.c, p.TraceSample)
+			if xerr != nil {
+				var rp *repPanic
+				if errors.As(xerr, &rp) {
+					continue
+				}
+				return nil, xerr
+			}
+			explanations = append(explanations, ex)
+			if ev.sink != nil {
+				ev.sink.Emit(telemetry.ExplanationReady{
+					Candidate: ex.Candidate, Rotation: ex.Rotation,
+					Sampled: ex.Sampled, Records: ex.Records,
+					Paths: len(ex.Paths), ChokePoints: len(ex.ChokePoints),
+				})
+			}
+		}
+	}
 	res := &Result{
 		Strategy:        o.Name(),
 		Objective:       p.Objective.String(),
@@ -725,8 +772,9 @@ func RunWith(ctx context.Context, p Problem, o Optimizer, opts RunOptions) (*Res
 		BestAssignment:  bestC.A,
 		BestRotation:    p.rotName(bestC.Rot),
 		Decisions:       decisionsOf(p.Topo, bestC.A),
-		Trace:           trace,
+		Trace:           steps,
 		Pareto:          paretoFront(&p, ev),
+		Explanations:    explanations,
 		Degraded:        degraded,
 		CacheHits:       hits,
 		CacheMisses:     misses,

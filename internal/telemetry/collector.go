@@ -35,6 +35,10 @@ type Report struct {
 	Quarantined int `json:"quarantined"`
 	Checkpoints int `json:"checkpoints"`
 
+	// Explanations counts the causal trace reports the run produced
+	// (zero unless TraceSample was set).
+	Explanations int `json:"explanations,omitempty"`
+
 	// Search-shape accounting from the round stream.
 	Rounds              int                `json:"rounds"`
 	StrategyRounds      map[string]int     `json:"strategy_rounds,omitempty"`
@@ -133,6 +137,12 @@ func (c *Collector) Emit(e Event) {
 	case WorkerQuarantined:
 		if c.reg != nil {
 			c.reg.Counter("diversify_quarantined_total", "candidates quarantined after repeated panics").Inc()
+		}
+	case ExplanationReady:
+		c.report.Explanations++
+		if c.reg != nil {
+			c.reg.Counter("diversify_explanations_total", "causal explanation reports produced").Inc()
+			c.reg.Gauge("diversify_explanation_records", "records captured by the last explanation replay").Set(float64(ev.Records))
 		}
 	case StoreWarmStart:
 		// Checkpoint restores are whole evaluations back in the archive;

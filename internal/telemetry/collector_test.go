@@ -137,3 +137,84 @@ func TestCollectorConcurrent(t *testing.T) {
 		t.Fatalf("lost batches: %+v", c.Report().EvalLatency)
 	}
 }
+
+// Interleaved round / batch / explanation events from several goroutines
+// while snapshots are taken: every mid-run snapshot must be internally
+// consistent (non-negative aggregates) and the counted totals must never
+// move backwards between consecutive snapshots. Run under -race this is
+// the collector's monotonicity contract.
+func TestCollectorConcurrentMonotonic(t *testing.T) {
+	c := NewCollector(NewRegistry())
+	const workers, per = 6, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Emit(RoundCompleted{Strategy: "greedy", Round: i, Elapsed: time.Duration(w*per+i) * time.Microsecond})
+				c.Emit(EvaluationBatch{Replications: 8, Duration: time.Microsecond})
+				if i%25 == 0 {
+					c.Emit(ExplanationReady{Candidate: "best", Sampled: 4, Records: 100})
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var prev *Report
+		for i := 0; i < 200; i++ {
+			r := c.Report()
+			if r.Rounds < 0 || r.Explanations < 0 || r.StrategyRounds["greedy"] > r.Rounds {
+				t.Errorf("inconsistent snapshot: %+v", r)
+				return
+			}
+			// The mean is a float sum/count, so allow rounding slack when
+			// comparing it against the max.
+			if r.EvalLatency != nil && (r.EvalLatency.Count < 0 || r.EvalLatency.MeanSeconds < 0 || r.EvalLatency.MaxSeconds < r.EvalLatency.MeanSeconds*(1-1e-9)) {
+				t.Errorf("inconsistent latency summary: %+v", r.EvalLatency)
+				return
+			}
+			if prev != nil {
+				if r.Rounds < prev.Rounds || r.Explanations < prev.Explanations {
+					t.Errorf("aggregate moved backwards: %+v -> %+v", prev, r)
+					return
+				}
+				if prev.EvalLatency != nil && (r.EvalLatency == nil || r.EvalLatency.Count < prev.EvalLatency.Count) {
+					t.Errorf("latency count moved backwards: %+v -> %+v", prev.EvalLatency, r.EvalLatency)
+					return
+				}
+			}
+			prev = r
+		}
+	}()
+	wg.Wait()
+	<-done
+	r := c.Report()
+	if r.Rounds != workers*per {
+		t.Fatalf("rounds = %d, want %d", r.Rounds, workers*per)
+	}
+	if r.Explanations != workers*6 {
+		t.Fatalf("explanations = %d, want %d", r.Explanations, workers*6)
+	}
+}
+
+// ExplanationReady aggregates into the report and keeps the registry's
+// explanation metrics current.
+func TestCollectorExplanationReady(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	c.Emit(ExplanationReady{Candidate: "baseline", Rotation: "static", Sampled: 8, Records: 715, Paths: 10, ChokePoints: 5})
+	c.Emit(ExplanationReady{Candidate: "best", Rotation: "adaptive:24x2", Sampled: 8, Records: 532, Paths: 7, ChokePoints: 9})
+	if r := c.Report(); r.Explanations != 2 {
+		t.Fatalf("explanations = %d, want 2", r.Explanations)
+	}
+	if got := reg.Counter("diversify_explanations_total", "").Value(); got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+	if got := reg.Gauge("diversify_explanation_records", "").Value(); got != 532 {
+		t.Fatalf("records gauge = %v, want 532 (last explanation wins)", got)
+	}
+}

@@ -100,6 +100,45 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+// Histogram edge cases: a never-observed histogram still exposes a full
+// well-formed family (all-zero buckets, zero sum/count), the +Inf
+// cumulative count always equals the observation count, and boundary
+// values land in their own bucket (le is ≤, not <).
+func TestHistogramEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("diversify_empty_seconds", "never observed", []float64{0.1, 1})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`diversify_empty_seconds_bucket{le="0.1"} 0` + "\n",
+		`diversify_empty_seconds_bucket{le="1"} 0` + "\n",
+		`diversify_empty_seconds_bucket{le="+Inf"} 0` + "\n",
+		"diversify_empty_seconds_sum 0\n",
+		"diversify_empty_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	h := newHistogram([]float64{1, 10})
+	// A boundary observation (exactly 1) is ≤ 1; +Inf-only observations
+	// (including actual +Inf) still count.
+	for _, v := range []float64{1, 10, 100, math.Inf(1)} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if want := []uint64{1, 2}; snap[0] != want[0] || snap[1] != want[1] {
+		t.Fatalf("cumulative buckets = %v, want %v", snap, want)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (the +Inf bucket is implicit and must equal count)", h.Count())
+	}
+}
+
 func TestLabeledHistogramComposesLe(t *testing.T) {
 	reg := NewRegistry()
 	reg.Histogram(`diversify_round_duration_seconds{strategy="greedy"}`, "round duration", []float64{1}).Observe(0.5)

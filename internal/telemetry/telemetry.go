@@ -138,6 +138,26 @@ type StoreWarmStart struct {
 // Kind implements Event.
 func (StoreWarmStart) Kind() string { return "store_warm_start" }
 
+// ExplanationReady announces one aggregated causal explanation report
+// (the post-search trace replay of a comparison candidate — see
+// internal/trace and Result.Explanations). Counts only: the report
+// itself travels on the Result, which owns the byte-identity surface.
+type ExplanationReady struct {
+	// Candidate labels the explained candidate ("baseline", "best");
+	// Rotation names its schedule.
+	Candidate string
+	Rotation  string
+	// Sampled is how many replications were traced, Records the total
+	// captured records, Paths / ChokePoints the report table sizes.
+	Sampled     int
+	Records     int
+	Paths       int
+	ChokePoints int
+}
+
+// Kind implements Event.
+func (ExplanationReady) Kind() string { return "explanation_ready" }
+
 // RunFinished closes the stream with the authoritative run totals —
 // the same accounting the Result reports, so a collector's report sums
 // consistently with the returned Result by construction.
